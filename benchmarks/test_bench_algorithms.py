@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the algorithmic kernels.
+
+These time the primitives every experiment leans on — shortest paths,
+terminal-tree construction, and one end-to-end schedule of each
+scheduler — so performance regressions in the kernels show up without
+running a full figure sweep.
+"""
+
+import pytest
+
+from repro.core.fixed import FixedScheduler
+from repro.core.flexible import FlexibleScheduler
+from repro.network.paths import dijkstra, k_shortest_paths, terminal_tree
+from repro.network.topologies import metro_mesh, random_geometric
+from repro.tasks.aitask import AITask
+from repro.tasks.models import get_model
+
+
+@pytest.fixture(scope="module")
+def large_net():
+    return random_geometric(60, seed=5, servers_per_site=1)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return metro_mesh(n_sites=16, servers_per_site=2)
+
+
+def make_task(net, n_locals, demand=10.0):
+    servers = net.servers()
+    return AITask(
+        task_id="bench",
+        model=get_model("resnet50"),
+        global_node=servers[0],
+        local_nodes=tuple(servers[1 : n_locals + 1]),
+        demand_gbps=demand,
+    )
+
+
+def test_dijkstra_60_nodes(benchmark, large_net):
+    servers = large_net.servers()
+    result = benchmark(dijkstra, large_net, servers[0], servers[-1])
+    assert result.nodes[0] == servers[0]
+
+
+def test_yen_k4_60_nodes(benchmark, large_net):
+    servers = large_net.servers()
+    paths = benchmark(k_shortest_paths, large_net, servers[0], servers[-1], 4)
+    assert len(paths) >= 1
+
+
+def test_terminal_tree_10_terminals(benchmark, large_net):
+    servers = large_net.servers()
+    tree = benchmark(terminal_tree, large_net, servers[0], servers[1:11])
+    assert len(tree.nodes) >= 11
+
+
+def test_fixed_scheduler_end_to_end(benchmark, mesh):
+    task = make_task(mesh, 10)
+    scheduler = FixedScheduler()
+
+    def run():
+        net = mesh.copy_topology()
+        return scheduler.schedule(task, net)
+
+    schedule = benchmark(run)
+    assert schedule.consumed_bandwidth_gbps > 0
+
+
+def test_flexible_scheduler_end_to_end(benchmark, mesh):
+    task = make_task(mesh, 10)
+    scheduler = FlexibleScheduler()
+
+    def run():
+        net = mesh.copy_topology()
+        return scheduler.schedule(task, net)
+
+    schedule = benchmark(run)
+    assert schedule.is_tree_based

@@ -1,0 +1,34 @@
+"""Benchmark abl-aux: auxiliary-graph weighting ablation.
+
+DESIGN.md calls out the alpha (bandwidth) / beta (latency) blend of the
+auxiliary-graph edge weight as the flexible scheduler's central design
+knob.  The sweep must expose the trade: growing alpha never increases
+consumed bandwidth, and the bandwidth-heaviest setting consumes no more
+than the latency-only one.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_auxgraph_ablation
+
+ALPHAS = (0.0, 1.0, 8.0)
+
+
+def test_auxiliary_weight_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_auxgraph_ablation,
+        alpha_values=ALPHAS,
+        n_tasks=12,
+        n_locals=8,
+        seed=19,
+    )
+
+    bandwidths = [row["bandwidth_gbps"] for row in result.rows]
+    # Weighting bandwidth harder never buys *more* bandwidth.
+    assert bandwidths[-1] <= bandwidths[0] + 1e-6
+    # Every point schedules successfully (rows exist for all alphas).
+    assert [row["alpha_bandwidth"] for row in result.rows] == list(ALPHAS)
+
+    print()
+    print(result.to_table())

@@ -1,0 +1,41 @@
+"""Benchmark abl-baselines: the stronger baselines the poster defers.
+
+"The comparison with stronger baselines will come as future works" — this
+bench is that comparison.  Asserted shape: the flexible scheduler's
+bandwidth dominates all three alternatives; aggregation-capable schemes
+(chain, flexible) beat per-local path schemes (fixed, ksp-lb) on latency
+once the local count stresses the global node's access link.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_baselines_comparison
+
+
+def test_four_scheduler_comparison(benchmark):
+    result = run_once(
+        benchmark, run_baselines_comparison, n_locals_values=(3, 15), n_tasks=10
+    )
+
+    def value(scheduler, n_locals, key):
+        for row in result.rows:
+            if row["scheduler"] == scheduler and row["n_locals"] == n_locals:
+                return row[key]
+        raise AssertionError("row missing")
+
+    # Flexible's bandwidth dominates everywhere.
+    for n_locals in (3, 15):
+        flexible = value("flexible-mst", n_locals, "bandwidth_gbps")
+        for other in ("fixed-spff", "ksp-lb", "chain"):
+            assert flexible <= value(other, n_locals, "bandwidth_gbps") + 1e-6
+
+    # At 15 locals the access-link contention separates the families:
+    # in-network aggregation (chain/flexible) beats end-to-end flows
+    # (fixed/ksp-lb), and path diversity alone (ksp-lb) cannot close the
+    # gap because the access link has no alternative.
+    for aggregating in ("chain", "flexible-mst"):
+        for per_path in ("fixed-spff", "ksp-lb"):
+            assert value(aggregating, 15, "round_ms") < value(per_path, 15, "round_ms")
+
+    print()
+    print(result.to_table())

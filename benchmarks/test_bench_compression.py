@@ -1,0 +1,38 @@
+"""Benchmark abl-fp16: half-precision weight exchange.
+
+The poster motivates flexible scheduling with rapidly growing model
+sizes; fp16 halves the wire format.  Asserted shape: communication time
+falls to roughly half for both schedulers, and compression does not
+change which scheduler wins.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_compression_ablation
+
+
+def test_fp16_compression(benchmark):
+    result = run_once(
+        benchmark, run_compression_ablation, n_tasks=10, n_locals=9
+    )
+
+    def row(precision, scheduler):
+        for record in result.rows:
+            if record["precision"] == precision and record["scheduler"] == scheduler:
+                return record
+        raise AssertionError("row missing")
+
+    for scheduler in ("fixed-spff", "flexible-mst"):
+        full = row("fp32", scheduler)["comm_ms"]
+        half = row("fp16", scheduler)["comm_ms"]
+        assert 0.35 < half / full < 0.65, "fp16 should ~halve communication"
+
+    # The schedulers' relative order is precision-invariant.
+    for precision in ("fp32", "fp16"):
+        assert (
+            row(precision, "flexible-mst")["round_ms"]
+            < row(precision, "fixed-spff")["round_ms"] * 1.05
+        )
+
+    print()
+    print(result.to_table())

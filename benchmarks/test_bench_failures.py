@@ -1,0 +1,33 @@
+"""Benchmark abl-failures: link-failure repair through the orchestrator.
+
+Operational extension: fail ring links under both schedulers and measure
+how many affected tasks the control loop re-routes.  Asserted shape: the
+mesh's spare paths let most tasks survive, and the flexible scheduler's
+repaired state consumes less bandwidth (more headroom for the next
+failure).
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_failure_recovery
+
+
+def test_failure_recovery(benchmark):
+    result = run_once(
+        benchmark, run_failure_recovery, n_tasks=10, n_failures=4
+    )
+    by_scheduler = {row["scheduler"]: row for row in result.rows}
+
+    for row in result.rows:
+        assert row["repaired"] <= row["affected"]
+        # A chorded mesh should keep at least half the tasks running
+        # through four failures.
+        assert row["running_after"] >= row["running_before"] // 2
+
+    assert (
+        by_scheduler["flexible-mst"]["bandwidth_after_gbps"]
+        < by_scheduler["fixed-spff"]["bandwidth_after_gbps"]
+    )
+
+    print()
+    print(result.to_table())

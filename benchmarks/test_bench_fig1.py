@@ -1,0 +1,25 @@
+"""Benchmark fig1: the qualitative fixed-vs-flexible example (paper Fig. 1).
+
+One three-local task on the toy topology: the flexible scheduler must find
+a connectivity set that consumes fewer link-rate units and aggregates at
+intermediate nodes rather than only at the global model.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1_connectivity_example(benchmark):
+    result = run_once(benchmark, run_fig1)
+    rows = {row["scheduler"]: row for row in result.rows}
+
+    fixed, flexible = rows["fixed-spff"], rows["flexible-mst"]
+    assert flexible["bandwidth_gbps"] < fixed["bandwidth_gbps"]
+    assert fixed["aggregation_nodes"] == "S-G"
+    assert flexible["aggregation_nodes"] != "S-G"
+    # Uncontended toy: latencies must be within 20% of each other.
+    assert abs(flexible["round_ms"] - fixed["round_ms"]) / fixed["round_ms"] < 0.2
+
+    print()
+    print(result.to_table())

@@ -1,0 +1,36 @@
+"""Benchmark fig3a: total latency vs number of local models (paper Fig. 3a).
+
+Regenerates the latency panel and asserts the paper's claims:
+
+* both schedulers' latency grows with the number of local models;
+* the flexible scheduler finishes training with lower latency;
+* the saving at the largest point is in the paper's ballpark (the paper
+  reports 2.3 ms vs 1.9 ms at 15 locals, a ~17% saving; we assert a
+  5-60% saving since our substrate is a simulator, not their testbed).
+"""
+
+from conftest import run_once, series
+
+from repro.experiments.fig3 import Fig3Config, run_fig3
+
+CONFIG = Fig3Config(n_locals_values=(3, 9, 15), n_tasks=15, seed=7)
+
+
+def test_fig3a_latency_vs_locals(benchmark):
+    result = run_once(benchmark, run_fig3, CONFIG)
+
+    fixed = series(result, "fixed-spff", "round_ms")
+    flexible = series(result, "flexible-mst", "round_ms")
+
+    # Latency grows with locals for both schedulers.
+    assert fixed[-1] > fixed[0]
+    assert flexible[-1] >= flexible[0]
+
+    # Flexible wins at the paper's operating point (15 locals)...
+    assert flexible[-1] < fixed[-1]
+    # ...by a factor in the paper's ballpark.
+    saving = (fixed[-1] - flexible[-1]) / fixed[-1]
+    assert 0.05 < saving < 0.60, f"latency saving {saving:.1%} out of band"
+
+    print()
+    print(result.to_table())

@@ -1,0 +1,39 @@
+"""Benchmark fig3b: consumed bandwidth vs local models (paper Fig. 3b).
+
+Asserts the paper's claims:
+
+* the fixed scheduler's bandwidth is "nearly linear" in the number of
+  local models (it builds an end-to-end path per local);
+* the flexible scheduler consumes less at every point because "AI tasks
+  can use some existing paths to transmit model weights";
+* the gap widens as the number of local models grows.
+"""
+
+from conftest import run_once, series
+
+from repro.experiments.fig3 import Fig3Config, run_fig3
+
+CONFIG = Fig3Config(n_locals_values=(3, 9, 15), n_tasks=15, seed=7)
+
+
+def test_fig3b_bandwidth_vs_locals(benchmark):
+    result = run_once(benchmark, run_fig3, CONFIG)
+
+    fixed = series(result, "fixed-spff", "bandwidth_gbps")
+    flexible = series(result, "flexible-mst", "bandwidth_gbps")
+
+    # Fixed: near-linear growth 3 -> 15 locals (5x locals, expect >2.5x;
+    # shares cap it slightly below fully linear under contention).
+    assert fixed[-1] > fixed[0] * 2.5
+
+    # Flexible: sub-linear (tree edges grow slower than leaves).
+    ratio_flexible = flexible[-1] / flexible[0]
+    ratio_fixed = fixed[-1] / fixed[0]
+    assert ratio_flexible < ratio_fixed
+
+    # Flexible below fixed at every point; gap widens.
+    assert all(f < x for f, x in zip(flexible, fixed))
+    assert (fixed[-1] - flexible[-1]) > (fixed[0] - flexible[0])
+
+    print()
+    print(result.to_table())

@@ -1,0 +1,25 @@
+"""Benchmark abl-optgap: MST heuristic vs exact Steiner optimum.
+
+Asserted shape: at every terminal count the heuristic sits between the
+optimum (ratio >= 1) and the textbook 2(1 - 1/k) guarantee, with the
+*mean* gap small (< 10%) on the metro fabric — the poster's MST
+construction is near-optimal in practice, not merely bounded.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_optimality_gap
+
+
+def test_mst_optimality_gap(benchmark):
+    result = run_once(
+        benchmark, run_optimality_gap, n_locals_values=(3, 5), n_samples=10
+    )
+
+    for row in result.rows:
+        assert 1.0 - 1e-9 <= row["mean_ratio"] <= row["worst_ratio"]
+        assert row["worst_ratio"] <= row["guarantee"] + 1e-9
+        assert row["mean_ratio"] < 1.10, "mean gap should be small in practice"
+
+    print()
+    print(result.to_table())

@@ -1,0 +1,35 @@
+"""Benchmark abl-optical: lit spectrum under the optical underlay.
+
+The authors' companion OFC paper optimises federated traffic *over
+optical networks*; this bench grooms every schedule onto the ROADM ring
+(25 Gbps channels, first-fit wavelengths) and counts lit wavelength-hops.
+Asserted shape: the flexible scheduler lights less spectrum, with the gap
+growing in the number of local models.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_optical_spectrum
+
+
+def test_optical_spectrum(benchmark):
+    result = run_once(
+        benchmark, run_optical_spectrum, n_locals_values=(3, 15), n_tasks=8
+    )
+
+    def hops(scheduler, n_locals):
+        for row in result.rows:
+            if row["scheduler"] == scheduler and row["n_locals"] == n_locals:
+                return row["wavelength_hops"]
+        raise AssertionError("row missing")
+
+    assert hops("flexible-mst", 3) <= hops("fixed-spff", 3)
+    assert hops("flexible-mst", 15) < hops("fixed-spff", 15)
+    gap_small = hops("fixed-spff", 3) - hops("flexible-mst", 3)
+    gap_large = hops("fixed-spff", 15) - hops("flexible-mst", 15)
+    assert gap_large > gap_small
+
+    print()
+    print(result.to_table())
+    print()
+    print(result.to_ascii_chart("n_locals", "wavelength_hops", "scheduler"))

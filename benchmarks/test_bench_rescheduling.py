@@ -1,0 +1,38 @@
+"""Benchmark abl-resched: re-scheduling interruption vs saving trade-off.
+
+Open challenge #1: "balance a trade-off between re-scheduling (temporary
+interruption) and bandwidth/latency saving".  The sweep must show a
+monotone frontier: cheaper interruptions => more re-schedules => more
+bandwidth recovered after conditions improve.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_rescheduling_ablation
+
+INTERRUPTIONS = (0.05, 5.0, 1e9)
+
+
+def test_rescheduling_tradeoff(benchmark):
+    result = run_once(
+        benchmark,
+        run_rescheduling_ablation,
+        interruption_values_ms=INTERRUPTIONS,
+        n_tasks=10,
+        seed=11,
+    )
+
+    rescheduled = [row["rescheduled"] for row in result.rows]
+    saved = [row["bandwidth_saved_gbps"] for row in result.rows]
+
+    # Monotone: cheaper interruption never re-schedules less.
+    assert rescheduled == sorted(rescheduled, reverse=True)
+    # The prohibitive interruption freezes everything.
+    assert rescheduled[-1] == 0
+    assert saved[-1] == 0.0
+    # The cheap interruption actually recovers bandwidth.
+    assert rescheduled[0] > 0
+    assert saved[0] > 0.0
+
+    print()
+    print(result.to_table())

@@ -1,0 +1,44 @@
+"""Benchmark abl-select: client selection (open challenge #1).
+
+"We should strategically select only those local models containing useful
+data."  The sweep must show: selecting fewer locals saves bandwidth and
+latency, and the utility-aware strategies retain more aggregate utility
+than uniform random at the same keep-fraction.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_selection_ablation
+
+
+def test_selection_strategies(benchmark):
+    result = run_once(
+        benchmark,
+        run_selection_ablation,
+        fractions=(0.25, 0.5, 1.0),
+        n_tasks=12,
+        n_locals=12,
+        seed=13,
+    )
+
+    by_key = {(row["strategy"], row["fraction"]): row for row in result.rows}
+
+    for strategy in ("top-utility", "random", "utility-proportional"):
+        # Bandwidth monotone in kept fraction.
+        bandwidths = [by_key[(strategy, f)]["bandwidth_gbps"] for f in (0.25, 0.5, 1.0)]
+        assert bandwidths == sorted(bandwidths)
+        # Full keep retains all utility.
+        assert by_key[(strategy, 1.0)]["utility_kept"] == 1.0
+
+    # Utility-aware selection dominates random at 25% keep.
+    assert (
+        by_key[("top-utility", 0.25)]["utility_kept"]
+        > by_key[("random", 0.25)]["utility_kept"]
+    )
+    assert (
+        by_key[("utility-proportional", 0.25)]["utility_kept"]
+        >= by_key[("random", 0.25)]["utility_kept"]
+    )
+
+    print()
+    print(result.to_table())

@@ -1,0 +1,26 @@
+"""Benchmark abl-simcheck: analytic model vs event-driven execution.
+
+The repository's figures come from the analytic evaluator; this bench
+re-derives the same round latencies by *executing* the rounds as
+simulator events and asserts the two independent implementations agree
+within 10% at every sweep point (exactly for the fixed scheduler, whose
+paths have no cross-flow dependencies).
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import run_model_validation
+
+
+def test_analytic_vs_executed(benchmark):
+    result = run_once(
+        benchmark, run_model_validation, n_locals_values=(3, 9, 15)
+    )
+
+    for row in result.rows:
+        assert abs(row["gap_percent"]) < 10.0, row
+        if row["scheduler"] == "fixed-spff":
+            assert abs(row["gap_percent"]) < 0.01, row
+
+    print()
+    print(result.to_table())

@@ -1,0 +1,29 @@
+"""Benchmark abl-spineleaf: all-optical spine-leaf fabric (challenge #3).
+
+"An all-optical network based on spine-leaf architectures is needed to
+provide large-bandwidth and low-latency pipelines."  Serving the same
+task mix on both fabrics must show lower broadcast latency on spine-leaf
+(two short hops, no metro ring detours).
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_spineleaf_ablation
+
+
+def test_spine_leaf_vs_metro(benchmark):
+    result = run_once(
+        benchmark, run_spineleaf_ablation, n_tasks=12, n_locals=6, seed=17
+    )
+    by_fabric = {row["fabric"]: row for row in result.rows}
+
+    metro, fabric = by_fabric["metro-mesh"], by_fabric["spine-leaf"]
+    assert fabric["served"] > 0 and metro["served"] > 0
+    # Low-latency pipes: broadcast completes faster on spine-leaf.
+    assert fabric["broadcast_ms"] < metro["broadcast_ms"]
+    # Whole rounds are dominated by training time, so parity (within a
+    # few percent) is the expectation there; broadcast is the fabric win.
+    assert fabric["round_ms"] <= metro["round_ms"] * 1.05
+
+    print()
+    print(result.to_table())

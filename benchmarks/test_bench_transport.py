@@ -1,0 +1,39 @@
+"""Benchmark abl-rdma: TCP vs RDMA across distances (open challenge #2).
+
+"A protocol based on RDMA is needed [...] while challenges remain: how to
+deal with performance degradation in long-distance networks."  The sweep
+must show RDMA dominating at datacenter distances (CPU and transfer time)
+and its advantage eroding over long-haul fibre.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_transport_ablation
+
+DISTANCES = (1.0, 100.0, 2000.0)
+
+
+def test_tcp_vs_rdma_distance_sweep(benchmark):
+    result = run_once(
+        benchmark, run_transport_ablation, distances_km=DISTANCES
+    )
+
+    def row(protocol, km):
+        for record in result.rows:
+            if record["protocol"] == protocol and record["distance_km"] == km:
+                return record
+        raise AssertionError(f"missing row {protocol}@{km}")
+
+    # Datacenter scale: RDMA wins on latency and by >100x on CPU.
+    assert row("rdma", 1.0)["transfer_ms"] < row("tcp", 1.0)["transfer_ms"]
+    assert row("rdma", 1.0)["endpoint_cpu_ms"] * 100 < row("tcp", 1.0)["endpoint_cpu_ms"]
+
+    # Long-haul degradation: RDMA goodput collapses with distance.
+    assert row("rdma", 2000.0)["effective_gbps"] < row("rdma", 1.0)["effective_gbps"]
+
+    # Crossover exists: at 2000 km TCP's transfer time beats RDMA's
+    # buffer/BDP-crippled one (the paper's open-challenge pain point).
+    assert row("tcp", 2000.0)["transfer_ms"] < row("rdma", 2000.0)["transfer_ms"]
+
+    print()
+    print(result.to_table())

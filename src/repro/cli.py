@@ -1,0 +1,96 @@
+"""Command-line entry point: ``repro <experiment> [--save out.json]``.
+
+Runs any experiment from DESIGN.md §4 and prints its table, e.g.::
+
+    repro fig3a
+    repro abl-rdma --save rdma.json
+    repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .experiments import (
+    ExperimentResult,
+    run_auxgraph_ablation,
+    run_baselines_comparison,
+    run_campaign_comparison,
+    run_compression_ablation,
+    run_failure_recovery,
+    run_model_validation,
+    run_optical_spectrum,
+    run_optimality_gap,
+    run_fig1,
+    run_fig3a,
+    run_fig3b,
+    run_rescheduling_ablation,
+    run_selection_ablation,
+    run_spineleaf_ablation,
+    run_transport_ablation,
+)
+
+#: Experiment id -> zero-argument runner.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": run_fig1,
+    "fig3a": run_fig3a,
+    "fig3b": run_fig3b,
+    "abl-resched": run_rescheduling_ablation,
+    "abl-select": run_selection_ablation,
+    "abl-rdma": run_transport_ablation,
+    "abl-spineleaf": run_spineleaf_ablation,
+    "abl-aux": run_auxgraph_ablation,
+    "abl-baselines": run_baselines_comparison,
+    "abl-failures": run_failure_recovery,
+    "abl-fp16": run_compression_ablation,
+    "abl-optical": run_optical_spectrum,
+    "abl-simcheck": run_model_validation,
+    "abl-optgap": run_optimality_gap,
+    "abl-campaign": run_campaign_comparison,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the figures and ablations of 'Flexible Scheduling "
+            "of Network and Computing Resources for Distributed AI Tasks'."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="experiment id from DESIGN.md §4, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        help="also write the result as JSON to PATH",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(result.to_table())
+        print()
+        if args.save:
+            path = args.save if len(names) == 1 else f"{name}-{args.save}"
+            result.save(path)
+            print(f"saved {name} to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""The computing manager: the control-plane view of all servers.
+
+The orchestrator (paper Fig. 2) talks to a *computing manager* to create
+and destroy the containers hosting global/local models.  This class keeps
+the server inventory, applies a placement policy, and answers capability
+queries ("which network nodes currently have spare GPU?") that the
+schedulers use when choosing aggregation points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError, PlacementError
+from .container import Container, ResourceDemand
+from .placement import PlacementPolicy, first_fit
+from .server import Server
+
+
+class ComputingManager:
+    """Inventory of servers plus placement/teardown operations.
+
+    Args:
+        policy: placement policy used by :meth:`deploy`.
+    """
+
+    def __init__(self, policy: PlacementPolicy = first_fit) -> None:
+        self._servers: Dict[str, Server] = {}
+        self._policy = policy
+        self._containers: Dict[str, Server] = {}
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def register(self, server: Server) -> None:
+        """Add a server to the inventory.
+
+        Raises:
+            ConfigurationError: on duplicate server names.
+        """
+        if server.name in self._servers:
+            raise ConfigurationError(f"duplicate server {server.name!r}")
+        self._servers[server.name] = server
+
+    def server(self, name: str) -> Server:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown server {name!r}") from None
+
+    @property
+    def servers(self) -> List[Server]:
+        """All servers in registration order."""
+        return list(self._servers.values())
+
+    def servers_at(self, node: str) -> List[Server]:
+        """Servers attached to a given network node."""
+        return [s for s in self._servers.values() if s.node == node]
+
+    def nodes_with_capacity(self, demand: ResourceDemand) -> List[str]:
+        """Network nodes with at least one server fitting ``demand``."""
+        nodes: List[str] = []
+        for server in self._servers.values():
+            if server.fits(demand) and server.node not in nodes:
+                nodes.append(server.node)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        container: Container,
+        *,
+        node: Optional[str] = None,
+        candidates: Optional[Sequence[str]] = None,
+    ) -> Server:
+        """Place a container using the configured policy.
+
+        Args:
+            container: the container to host.
+            node: restrict placement to servers at this network node.
+            candidates: restrict placement to these server names (ordered).
+
+        Returns:
+            The chosen server.
+
+        Raises:
+            PlacementError: when nothing fits.
+        """
+        if node is not None and candidates is not None:
+            raise ConfigurationError("pass either node or candidates, not both")
+        if node is not None:
+            pool: Sequence[Server] = self.servers_at(node)
+            if not pool:
+                raise PlacementError(f"no servers at node {node!r}")
+        elif candidates is not None:
+            pool = [self.server(name) for name in candidates]
+        else:
+            pool = self.servers
+        chosen = self._policy(pool, container.demand)
+        chosen.place(container)
+        self._containers[container.container_id] = chosen
+        return chosen
+
+    def destroy(self, container_id: str) -> Container:
+        """Evict a container wherever it runs.
+
+        Raises:
+            PlacementError: for unknown container ids.
+        """
+        host = self._containers.pop(container_id, None)
+        if host is None:
+            raise PlacementError(f"unknown container {container_id!r}")
+        return host.evict(container_id)
+
+    def host_of(self, container_id: str) -> Server:
+        """The server hosting a container."""
+        host = self._containers.get(container_id)
+        if host is None:
+            raise PlacementError(f"unknown container {container_id!r}")
+        return host
+
+    def container_gflops(self, container_id: str) -> float:
+        """Accelerator rate reserved by a placed container."""
+        return self.host_of(container_id).effective_gflops(container_id)
+
+    @property
+    def total_containers(self) -> int:
+        return len(self._containers)

@@ -1,0 +1,136 @@
+"""Servers: multi-resource capacity with container bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigurationError, PlacementError
+from .container import Container, ResourceDemand
+
+
+class Server:
+    """A compute host attached to a network node.
+
+    Args:
+        name: unique server identifier.
+        node: name of the network node the server hangs off.
+        cpu_cores: CPU capacity.
+        gpu_gflops: aggregate accelerator speed (drives training time).
+        memory_gb: memory capacity.
+
+    The server admits a container only when every resource dimension fits;
+    the invariant ``used <= capacity`` holds per dimension at all times.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node: str,
+        *,
+        cpu_cores: float = 32.0,
+        gpu_gflops: float = 10_000.0,
+        memory_gb: float = 128.0,
+    ) -> None:
+        for label, value in (
+            ("cpu_cores", cpu_cores),
+            ("gpu_gflops", gpu_gflops),
+            ("memory_gb", memory_gb),
+        ):
+            if value <= 0:
+                raise ConfigurationError(f"{label} must be > 0, got {value}")
+        self.name = name
+        self.node = node
+        self.cpu_cores = float(cpu_cores)
+        self.gpu_gflops = float(gpu_gflops)
+        self.memory_gb = float(memory_gb)
+        self._containers: Dict[str, Container] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def containers(self) -> List[Container]:
+        """Hosted containers in placement order."""
+        return list(self._containers.values())
+
+    def _used(self) -> ResourceDemand:
+        cpu = sum(c.demand.cpu_cores for c in self._containers.values())
+        gpu = sum(c.demand.gpu_gflops for c in self._containers.values())
+        mem = sum(c.demand.memory_gb for c in self._containers.values())
+        return ResourceDemand(cpu_cores=cpu, gpu_gflops=gpu, memory_gb=mem)
+
+    @property
+    def used(self) -> ResourceDemand:
+        """Summed demand of hosted containers."""
+        return self._used()
+
+    @property
+    def free(self) -> ResourceDemand:
+        """Per-dimension spare capacity."""
+        used = self._used()
+        return ResourceDemand(
+            cpu_cores=self.cpu_cores - used.cpu_cores,
+            gpu_gflops=self.gpu_gflops - used.gpu_gflops,
+            memory_gb=self.memory_gb - used.memory_gb,
+        )
+
+    def fits(self, demand: ResourceDemand) -> bool:
+        """Whether ``demand`` fits in the current spare capacity."""
+        free = self.free
+        return (
+            demand.cpu_cores <= free.cpu_cores + 1e-9
+            and demand.gpu_gflops <= free.gpu_gflops + 1e-9
+            and demand.memory_gb <= free.memory_gb + 1e-9
+        )
+
+    def load_fraction(self) -> float:
+        """Max per-dimension utilisation — the binding constraint."""
+        used = self._used()
+        return max(
+            used.cpu_cores / self.cpu_cores,
+            used.gpu_gflops / self.gpu_gflops,
+            used.memory_gb / self.memory_gb,
+        )
+
+    def place(self, container: Container) -> None:
+        """Host a container.
+
+        Raises:
+            PlacementError: if a dimension would overflow or the id exists.
+        """
+        if container.container_id in self._containers:
+            raise PlacementError(
+                f"container {container.container_id!r} already on {self.name!r}"
+            )
+        if not self.fits(container.demand):
+            raise PlacementError(
+                f"container {container.container_id!r} does not fit on "
+                f"{self.name!r} (free: {self.free})"
+            )
+        container.server = self.name
+        self._containers[container.container_id] = container
+
+    def evict(self, container_id: str) -> Container:
+        """Remove a container and return it.
+
+        Raises:
+            PlacementError: if the container is not hosted here.
+        """
+        try:
+            container = self._containers.pop(container_id)
+        except KeyError:
+            raise PlacementError(
+                f"container {container_id!r} not on {self.name!r}"
+            ) from None
+        container.server = None
+        return container
+
+    def effective_gflops(self, container_id: str) -> float:
+        """Accelerator speed available to one container (its reservation)."""
+        container = self._containers.get(container_id)
+        if container is None:
+            raise PlacementError(
+                f"container {container_id!r} not on {self.name!r}"
+            )
+        return container.demand.gpu_gflops
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Server({self.name!r} @ {self.node!r}, {len(self._containers)} containers)"

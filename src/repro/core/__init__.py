@@ -1,0 +1,48 @@
+"""Core contribution: fixed (SPFF) and flexible (MST) schedulers.
+
+This package is the paper's primary contribution plus the machinery to
+evaluate it:
+
+* :mod:`~repro.core.base` — the scheduler interface and the
+  :class:`TaskSchedule` result object (routes, trees, reserved rates);
+* :mod:`~repro.core.fixed` — the baseline **SPFF** scheduler: latency-
+  shortest end-to-end paths per local model, first-fit capacity,
+  aggregation only at the global node;
+* :mod:`~repro.core.flexible` — the proposed **MST** scheduler: per-
+  procedure auxiliary graphs, terminal trees, path reuse, and
+  multi-aggregation at intermediate nodes;
+* :mod:`~repro.core.evaluation` — latency/bandwidth evaluation of a
+  schedule under a transport protocol and aggregation cost model;
+* :mod:`~repro.core.rescheduling` — when to re-schedule deployed tasks
+  (open challenge #1's interruption-vs-saving trade-off);
+* :mod:`~repro.core.metrics` — result records shared by experiments.
+"""
+
+from .base import Scheduler, TaskSchedule
+from .baselines import ChainScheduler, KspLoadBalancedScheduler
+from .evaluation import EvaluationConfig, ScheduleEvaluator
+from .fixed import FixedScheduler
+from .flexible import FlexibleScheduler
+from .metrics import RoundLatency, TaskReport
+from .prediction import IterationEstimate, IterationPredictor
+from .rescheduling import ReschedulingDecision, ReschedulingPolicy
+from .simulation import ExecutedRound, RoundExecutor
+
+__all__ = [
+    "Scheduler",
+    "TaskSchedule",
+    "ChainScheduler",
+    "KspLoadBalancedScheduler",
+    "EvaluationConfig",
+    "ScheduleEvaluator",
+    "FixedScheduler",
+    "FlexibleScheduler",
+    "RoundLatency",
+    "TaskReport",
+    "IterationEstimate",
+    "IterationPredictor",
+    "ReschedulingDecision",
+    "ReschedulingPolicy",
+    "ExecutedRound",
+    "RoundExecutor",
+]

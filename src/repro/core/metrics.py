@@ -1,0 +1,68 @@
+"""Result records produced by schedule evaluation and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class RoundLatency:
+    """Latency breakdown of one training round.
+
+    Attributes:
+        broadcast_ms: global-to-locals weight distribution (max over locals).
+        training_ms: slowest local training time.
+        upload_ms: communication+aggregation time of the upload procedure
+            measured from the end of the slowest training (the critical
+            path beyond training).
+        total_ms: full round: broadcast + max(training chain, upload chain)
+            as computed on the critical path.
+    """
+
+    broadcast_ms: float
+    training_ms: float
+    upload_ms: float
+    total_ms: float
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """End-to-end evaluation of one scheduled task.
+
+    Attributes:
+        task_id: the task.
+        scheduler: scheduler name that produced the schedule.
+        n_locals: local models actually served.
+        round_latency: per-round breakdown.
+        total_latency_ms: rounds x round latency + control overhead.
+        consumed_bandwidth_gbps: summed reserved rate over directed edges
+            (the paper's Fig. 3b metric).
+        endpoint_cpu_ms: transport CPU burned per round at the endpoints.
+        aggregation_nodes: nodes executing merges during upload.
+    """
+
+    task_id: str
+    scheduler: str
+    n_locals: int
+    round_latency: RoundLatency
+    total_latency_ms: float
+    consumed_bandwidth_gbps: float
+    endpoint_cpu_ms: float
+    aggregation_nodes: Tuple[str, ...]
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for tabular experiment output."""
+        return {
+            "task_id": self.task_id,
+            "scheduler": self.scheduler,
+            "n_locals": self.n_locals,
+            "broadcast_ms": round(self.round_latency.broadcast_ms, 6),
+            "training_ms": round(self.round_latency.training_ms, 6),
+            "upload_ms": round(self.round_latency.upload_ms, 6),
+            "round_ms": round(self.round_latency.total_ms, 6),
+            "total_ms": round(self.total_latency_ms, 6),
+            "bandwidth_gbps": round(self.consumed_bandwidth_gbps, 6),
+            "cpu_ms": round(self.endpoint_cpu_ms, 6),
+            "aggregation_nodes": ",".join(self.aggregation_nodes),
+        }

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries.  Errors are grouped by
+subsystem; each carries a human-readable message and, where useful,
+structured context attributes that tests and orchestration code can inspect.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed topologies (unknown nodes, duplicate links...)."""
+
+
+class NoPathError(TopologyError):
+    """Raised when no route exists between two nodes.
+
+    Attributes:
+        source: name of the source node.
+        destination: name of the destination node.
+    """
+
+    def __init__(self, source: str, destination: str, message: str = "") -> None:
+        self.source = source
+        self.destination = destination
+        detail = message or f"no path from {source!r} to {destination!r}"
+        super().__init__(detail)
+
+
+class CapacityError(ReproError):
+    """Raised when a reservation exceeds available link or node capacity."""
+
+
+class WavelengthError(CapacityError):
+    """Raised when no wavelength satisfies the continuity constraint."""
+
+
+class PlacementError(ReproError):
+    """Raised when a container/model cannot be placed on any server."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler cannot produce a feasible schedule."""
+
+
+class TaskError(ReproError):
+    """Raised for invalid AI-task definitions (e.g. global == local node)."""
+
+
+class TransportError(ReproError):
+    """Raised for invalid transport-protocol parameters or transfers."""
+
+
+class OrchestrationError(ReproError):
+    """Raised by the control plane (unknown task ids, double admission...)."""

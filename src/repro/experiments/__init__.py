@@ -1,0 +1,58 @@
+"""Experiment harnesses regenerating every figure in the paper + ablations.
+
+Each harness returns an :class:`~repro.experiments.results.ExperimentResult`
+whose rows are the exact series the paper plots; ``to_table()`` renders
+them for terminal inspection and the benchmark suite asserts their shapes.
+
+Index (see DESIGN.md §4):
+
+* :func:`~repro.experiments.fig1.run_fig1` — the qualitative fixed-vs-
+  flexible connectivity example of Fig. 1;
+* :func:`~repro.experiments.fig3.run_fig3a` — total latency vs number of
+  local models (Fig. 3a);
+* :func:`~repro.experiments.fig3.run_fig3b` — consumed bandwidth vs
+  number of local models (Fig. 3b);
+* :mod:`~repro.experiments.ablations` — re-scheduling trade-off, client
+  selection, TCP-vs-RDMA, spine-leaf fabric, auxiliary-weight sweep.
+"""
+
+from .ablations import (
+    run_auxgraph_ablation,
+    run_rescheduling_ablation,
+    run_selection_ablation,
+    run_spineleaf_ablation,
+    run_transport_ablation,
+)
+from .extensions import (
+    run_baselines_comparison,
+    run_campaign_comparison,
+    run_compression_ablation,
+    run_failure_recovery,
+    run_model_validation,
+    run_optical_spectrum,
+    run_optimality_gap,
+)
+from .fig1 import run_fig1
+from .fig3 import Fig3Config, run_fig3, run_fig3a, run_fig3b
+from .results import ExperimentResult
+
+__all__ = [
+    "run_baselines_comparison",
+    "run_campaign_comparison",
+    "run_compression_ablation",
+    "run_failure_recovery",
+    "run_model_validation",
+    "run_optical_spectrum",
+    "run_optimality_gap",
+    "ExperimentResult",
+    "run_fig1",
+    "Fig3Config",
+    "run_fig3",
+    "run_fig3a",
+    "run_fig3b",
+    "run_rescheduling_ablation",
+    "run_selection_ablation",
+    "run_transport_ablation",
+    "run_spineleaf_ablation",
+    "run_auxgraph_ablation",
+]

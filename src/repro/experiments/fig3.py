@@ -1,0 +1,226 @@
+"""Figure 3: latency (3a) and consumed bandwidth (3b) vs local models.
+
+Protocol, mirroring the paper's evaluation:
+
+* a metro mesh with ROADMs, grooming routers, and servers (the Fig. 2
+  testbed's shape);
+* background live traffic injected by the traffic generator;
+* 30 AI tasks per point, served one at a time (admit → evaluate →
+  complete), so every task sees the same background conditions and the
+  averages are clean;
+* the sweep variable is the number of local models per task;
+* both schedulers see identical workloads and identical background load
+  (fresh, identically-seeded network per scheduler).
+
+Reported per (scheduler, n_locals): **mean round latency** (training +
+communication, the Fig. 3a metric), **mean task bandwidth** (Fig. 3b), and
+supporting columns (broadcast/upload split, blocked count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.base import Scheduler
+from ..core.evaluation import EvaluationConfig
+from ..core.fixed import FixedScheduler
+from ..core.flexible import FlexibleScheduler
+from ..errors import ConfigurationError
+from ..network.graph import Network
+from ..network.topologies import metro_mesh
+from ..orchestrator.database import TaskStatus
+from ..orchestrator.orchestrator import Orchestrator
+from ..sim.rng import RandomStreams
+from ..tasks.workload import WorkloadConfig, generate_workload
+from ..traffic.generator import TrafficGenerator
+from .results import ExperimentResult
+
+#: Factory signature for the evaluation fabric.
+TopologyFactory = Callable[[], Network]
+
+
+def _default_topology() -> Network:
+    return metro_mesh(n_sites=16, servers_per_site=2)
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Sweep parameters for both Fig. 3 panels.
+
+    Attributes:
+        n_locals_values: the x-axis (paper sweeps up to 15).
+        n_tasks: tasks averaged per point (paper: 30).
+        seed: master seed; workloads/traffic derive from it.
+        background_flows: persistent background flows injected per run.
+        model_names: task model mix.
+        demand_gbps: per-flow rate request.
+        rounds: training rounds per task.
+        topology: fabric factory; defaults to a 16-site metro mesh.
+        evaluation: latency-model configuration.
+        measurement: "analytic" uses the closed-form evaluator (fast,
+            the default); "executed" runs each task's round as events on
+            the simulation engine (the ground-truth cross-check).
+    """
+
+    n_locals_values: Tuple[int, ...] = (3, 6, 9, 12, 15)
+    n_tasks: int = 30
+    seed: int = 7
+    background_flows: int = 40
+    model_names: Tuple[str, ...] = ("resnet18", "resnet50", "bert-base")
+    demand_gbps: float = 10.0
+    rounds: int = 5
+    topology: TopologyFactory = field(default=_default_topology)
+    evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
+    measurement: str = "analytic"
+
+    def __post_init__(self) -> None:
+        if not self.n_locals_values:
+            raise ConfigurationError("n_locals_values must be non-empty")
+        if any(k < 1 for k in self.n_locals_values):
+            raise ConfigurationError("every n_locals must be >= 1")
+        if self.n_tasks < 1:
+            raise ConfigurationError(f"n_tasks must be >= 1, got {self.n_tasks}")
+        if self.measurement not in ("analytic", "executed"):
+            raise ConfigurationError(
+                f"measurement must be 'analytic' or 'executed', got "
+                f"{self.measurement!r}"
+            )
+
+
+def _schedulers() -> Sequence[Scheduler]:
+    return (FixedScheduler(), FlexibleScheduler())
+
+
+def _run_point(
+    config: Fig3Config, scheduler: Scheduler, n_locals: int
+) -> Dict[str, float]:
+    """Serve the task mix for one (scheduler, n_locals) point."""
+    network = config.topology()
+    streams = RandomStreams(config.seed)
+    traffic = TrafficGenerator(network, streams)
+    traffic.inject_static(config.background_flows)
+
+    workload = generate_workload(
+        network,
+        WorkloadConfig(
+            n_tasks=config.n_tasks,
+            n_locals=n_locals,
+            model_names=config.model_names,
+            demand_gbps=config.demand_gbps,
+            rounds=config.rounds,
+        ),
+        streams,
+    )
+    orchestrator = Orchestrator(
+        network, scheduler, evaluation=config.evaluation
+    )
+    round_ms: List[float] = []
+    broadcast_ms: List[float] = []
+    upload_ms: List[float] = []
+    total_ms: List[float] = []
+    bandwidth: List[float] = []
+    blocked = 0
+    for task in workload:
+        record = orchestrator.admit(task)
+        if record.status is not TaskStatus.RUNNING:
+            blocked += 1
+            continue
+        report = orchestrator.evaluate(task.task_id)
+        if config.measurement == "executed":
+            from ..core.simulation import RoundExecutor
+            from ..sim.engine import Simulator
+
+            executed = RoundExecutor(
+                network, record.schedule, config.evaluation
+            ).execute_round(Simulator())
+            round_ms.append(executed.total_ms)
+            broadcast_ms.append(executed.broadcast_done_ms)
+            upload_ms.append(executed.upload_done_ms - executed.broadcast_done_ms)
+            total_ms.append(task.rounds * executed.total_ms)
+        else:
+            round_ms.append(report.round_latency.total_ms)
+            broadcast_ms.append(report.round_latency.broadcast_ms)
+            upload_ms.append(report.round_latency.upload_ms)
+            total_ms.append(report.total_latency_ms)
+        bandwidth.append(report.consumed_bandwidth_gbps)
+        orchestrator.complete(task.task_id)
+
+    served = len(round_ms)
+    if served == 0:
+        raise ConfigurationError(
+            f"every task blocked at n_locals={n_locals} for "
+            f"{scheduler.name}; lower demand or background load"
+        )
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values)
+
+    return {
+        "served": served,
+        "blocked": blocked,
+        "round_ms": mean(round_ms),
+        "broadcast_ms": mean(broadcast_ms),
+        "upload_ms": mean(upload_ms),
+        "total_ms": mean(total_ms),
+        "bandwidth_gbps": mean(bandwidth),
+    }
+
+
+def run_fig3(config: Optional[Fig3Config] = None) -> ExperimentResult:
+    """Run the full sweep once; both panels read from the same rows."""
+    config = config or Fig3Config()
+    result = ExperimentResult(
+        name="fig3",
+        description=(
+            "latency and consumed bandwidth vs number of local models, "
+            "fixed (SPFF) vs flexible (MST)"
+        ),
+        parameters={
+            "n_tasks": config.n_tasks,
+            "seed": config.seed,
+            "background_flows": config.background_flows,
+            "demand_gbps": config.demand_gbps,
+            "models": list(config.model_names),
+        },
+    )
+    for n_locals in config.n_locals_values:
+        for scheduler in _schedulers():
+            point = _run_point(config, scheduler, n_locals)
+            result.add(scheduler=scheduler.name, n_locals=n_locals, **point)
+    return result
+
+
+def run_fig3a(config: Optional[Fig3Config] = None) -> ExperimentResult:
+    """Fig. 3a — total latency vs number of local models."""
+    full = run_fig3(config)
+    result = ExperimentResult(
+        name="fig3a",
+        description="total latency (training + communication) vs local models",
+        parameters=full.parameters,
+    )
+    for row in full.rows:
+        result.add(
+            scheduler=row["scheduler"],
+            n_locals=row["n_locals"],
+            round_ms=row["round_ms"],
+            total_ms=row["total_ms"],
+        )
+    return result
+
+
+def run_fig3b(config: Optional[Fig3Config] = None) -> ExperimentResult:
+    """Fig. 3b — consumed bandwidth vs number of local models."""
+    full = run_fig3(config)
+    result = ExperimentResult(
+        name="fig3b",
+        description="consumed bandwidth vs local models",
+        parameters=full.parameters,
+    )
+    for row in full.rows:
+        result.add(
+            scheduler=row["scheduler"],
+            n_locals=row["n_locals"],
+            bandwidth_gbps=row["bandwidth_gbps"],
+        )
+    return result

@@ -1,0 +1,291 @@
+"""The :class:`Network` container: nodes + links + reservation bookkeeping.
+
+``Network`` is deliberately a thin, explicit adjacency structure rather
+than a wrapper over an external graph library: the schedulers need exact
+control over per-direction residual capacity, owner-tagged reservations,
+and deterministic iteration order (insertion order everywhere), all of
+which are easier to guarantee in ~200 lines than to retrofit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import CapacityError, TopologyError
+from .link import Link
+from .node import Node, NodeKind
+
+#: An edge expressed as the (src, dst) node names of a traversal direction.
+DirectedEdge = Tuple[str, str]
+
+
+class Network:
+    """A topology of named nodes joined by capacitated bidirectional links.
+
+    Nodes and links iterate in insertion order, which keeps every algorithm
+    in :mod:`repro.network.paths` deterministic without extra sorting.
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        name: str,
+        kind: NodeKind = NodeKind.ROUTER,
+        *,
+        aggregation_capable: "bool | None" = None,
+        **attrs: object,
+    ) -> Node:
+        """Create and register a node.
+
+        Raises:
+            TopologyError: if a node with this name already exists.
+        """
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node {name!r}")
+        node = Node(
+            name=name,
+            kind=kind,
+            aggregation_capable=aggregation_capable,
+            attrs=dict(attrs),
+        )
+        self._nodes[name] = node
+        self._adjacency[name] = []
+        return node
+
+    def add_link(
+        self,
+        u: str,
+        v: str,
+        capacity_gbps: float,
+        *,
+        distance_km: float = 10.0,
+        latency_ms: "float | None" = None,
+    ) -> Link:
+        """Create and register an undirected link between existing nodes.
+
+        Raises:
+            TopologyError: if an endpoint is unknown or the link exists.
+        """
+        for endpoint in (u, v):
+            if endpoint not in self._nodes:
+                raise TopologyError(f"unknown node {endpoint!r} for link {u}-{v}")
+        if self._key(u, v) in self._links:
+            raise TopologyError(f"duplicate link {u}-{v}")
+        link = Link(u, v, capacity_gbps, distance_km=distance_km, latency_ms=latency_ms)
+        self._links[self._key(u, v)] = link
+        self._adjacency[u].append(v)
+        self._adjacency[v].append(u)
+        return link
+
+    @staticmethod
+    def _key(u: str, v: str) -> Tuple[str, str]:
+        return (u, v) if u <= v else (v, u)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name (raises TopologyError if unknown)."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def nodes(self, kind: Optional[NodeKind] = None) -> Iterator[Node]:
+        """Iterate nodes in insertion order, optionally filtered by kind."""
+        for node in self._nodes.values():
+            if kind is None or node.kind is kind:
+                yield node
+
+    def node_names(self, kind: Optional[NodeKind] = None) -> List[str]:
+        """Names of nodes in insertion order, optionally filtered by kind."""
+        return [node.name for node in self.nodes(kind)]
+
+    def servers(self) -> List[str]:
+        """Names of nodes that may host AI models."""
+        return [node.name for node in self._nodes.values() if node.can_host_models]
+
+    def links(self) -> Iterator[Link]:
+        """Iterate links in insertion order."""
+        yield from self._links.values()
+
+    def link(self, u: str, v: str) -> Link:
+        """The link between ``u`` and ``v`` (raises TopologyError if absent)."""
+        try:
+            return self._links[self._key(u, v)]
+        except KeyError:
+            raise TopologyError(f"no link between {u!r} and {v!r}") from None
+
+    def has_link(self, u: str, v: str) -> bool:
+        return self._key(u, v) in self._links
+
+    def neighbors(self, name: str) -> List[str]:
+        """Adjacent node names in link-insertion order."""
+        if name not in self._adjacency:
+            raise TopologyError(f"unknown node {name!r}")
+        return list(self._adjacency[name])
+
+    def degree(self, name: str) -> int:
+        return len(self.neighbors(name))
+
+    def is_connected(self) -> bool:
+        """True when every node is reachable from the first one."""
+        if not self._nodes:
+            return True
+        start = next(iter(self._nodes))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Capacity operations (delegate to links, path-level helpers)
+    # ------------------------------------------------------------------
+    def residual_gbps(self, src: str, dst: str) -> float:
+        """Free rate on the directed edge ``src -> dst``."""
+        return self.link(src, dst).residual_gbps(src, dst)
+
+    def reserve_edge(self, src: str, dst: str, gbps: float, owner: str) -> None:
+        """Reserve rate on one directed edge under ``owner``."""
+        self.link(src, dst).reserve(src, dst, gbps, owner)
+
+    def reserve_path(self, path: List[str], gbps: float, owner: str) -> None:
+        """Reserve rate on every directed edge of ``path`` atomically.
+
+        Either every hop is reserved or none is (failed hops are rolled
+        back before the error propagates).
+
+        Raises:
+            CapacityError: if any hop lacks capacity.
+        """
+        reserved: List[DirectedEdge] = []
+        try:
+            for src, dst in zip(path, path[1:]):
+                self.reserve_edge(src, dst, gbps, owner)
+                reserved.append((src, dst))
+        except CapacityError:
+            for src, dst in reserved:
+                self.link(src, dst).release(src, dst, owner)
+            raise
+
+    def release_owner(self, owner: str) -> float:
+        """Release everything ``owner`` holds anywhere in the network."""
+        return sum(link.release_owner(owner) for link in self._links.values())
+
+    def owner_total_gbps(self, owner: str) -> float:
+        """Summed directed-edge rate held by ``owner`` across the network."""
+        total = 0.0
+        for link in self._links.values():
+            total += link.owner_gbps(link.u, link.v, owner)
+            total += link.owner_gbps(link.v, link.u, owner)
+        return total
+
+    def total_reserved_gbps(self) -> float:
+        """Summed reserved rate over all directed edges (the paper's
+        "consumed bandwidth" metric)."""
+        total = 0.0
+        for link in self._links.values():
+            total += link.used_gbps(link.u, link.v)
+            total += link.used_gbps(link.v, link.u)
+        return total
+
+    def edge_latency_ms(self, src: str, dst: str) -> float:
+        """One-way propagation latency of the directed edge."""
+        return self.link(src, dst).latency_ms
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+    def fail_link(self, u: str, v: str) -> Link:
+        """Mark the link down: no new reservations, infinite route weight.
+
+        Existing reservations stay recorded (the owners' traffic is what
+        the failure disrupts); the orchestrator is responsible for moving
+        affected tasks — see ``Orchestrator.handle_link_failure``.
+        """
+        link = self.link(u, v)
+        link.failed = True
+        return link
+
+    def restore_link(self, u: str, v: str) -> Link:
+        """Bring a failed link back into service."""
+        link = self.link(u, v)
+        link.failed = False
+        return link
+
+    def failed_links(self) -> List[Link]:
+        """Currently failed links in insertion order."""
+        return [link for link in self._links.values() if link.failed]
+
+    def owners_on_link(self, u: str, v: str) -> List[str]:
+        """Reservation owners (both directions) on one link, sorted."""
+        link = self.link(u, v)
+        owners = set()
+        for src, dst in ((link.u, link.v), (link.v, link.u)):
+            owners.update(r.owner for r in link.reservations(src, dst))
+        return sorted(owners)
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+    def copy_topology(self) -> "Network":
+        """A fresh network with the same nodes/links and *no* reservations.
+
+        Link *failure state* is carried over: a scratch copy used for
+        what-if scheduling (e.g. the re-scheduling policy) must not treat
+        dead links as healthy.
+        """
+        clone = Network(name=self.name)
+        for node in self._nodes.values():
+            clone.add_node(
+                node.name,
+                node.kind,
+                aggregation_capable=node.aggregation_capable,
+                **node.attrs,
+            )
+        for link in self._links.values():
+            cloned = clone.add_link(
+                link.u,
+                link.v,
+                link.capacity_gbps,
+                distance_km=link.distance_km,
+                latency_ms=link.latency_ms,
+            )
+            cloned.failed = link.failed
+        return clone
+
+    def directed_edges(self) -> Iterator[DirectedEdge]:
+        """Every directed edge (both orientations of every link)."""
+        for link in self._links.values():
+            yield (link.u, link.v)
+            yield (link.v, link.u)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network({self.name!r}, nodes={self.node_count}, "
+            f"links={self.link_count})"
+        )

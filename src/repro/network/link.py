@@ -1,0 +1,158 @@
+"""Capacitated, bidirectional fibre links with per-direction reservations.
+
+A :class:`Link` joins two nodes and offers ``capacity_gbps`` independently
+in each direction (as a fibre pair does).  Consumers reserve rate under an
+*owner* tag — a task id, a background-traffic flow id — so releases are
+exact and leak-free: releasing an owner returns precisely what that owner
+reserved, and the invariant ``used <= capacity`` holds at all times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from ..errors import CapacityError, ConfigurationError
+from ..units import propagation_ms
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A single owner's reserved rate on one direction of a link."""
+
+    owner: str
+    gbps: float
+
+
+class Link:
+    """An undirected physical link with independent per-direction capacity.
+
+    Args:
+        u, v: endpoint node names (order defines the "forward" direction
+            only for bookkeeping; both directions behave identically).
+        capacity_gbps: usable rate per direction.
+        distance_km: fibre length; drives propagation latency unless
+            ``latency_ms`` is given explicitly.
+        latency_ms: explicit one-way propagation latency override.
+    """
+
+    def __init__(
+        self,
+        u: str,
+        v: str,
+        capacity_gbps: float,
+        *,
+        distance_km: float = 10.0,
+        latency_ms: "float | None" = None,
+    ) -> None:
+        if u == v:
+            raise ConfigurationError(f"self-loop link at {u!r} is not allowed")
+        if capacity_gbps <= 0:
+            raise ConfigurationError(
+                f"link {u}-{v}: capacity must be > 0 Gbps, got {capacity_gbps}"
+            )
+        if distance_km < 0:
+            raise ConfigurationError(
+                f"link {u}-{v}: distance must be >= 0 km, got {distance_km}"
+            )
+        self.u = u
+        self.v = v
+        self.failed = False
+        self.capacity_gbps = float(capacity_gbps)
+        self.distance_km = float(distance_km)
+        self._latency_ms = (
+            float(latency_ms) if latency_ms is not None else propagation_ms(distance_km)
+        )
+        if self._latency_ms < 0:
+            raise ConfigurationError(
+                f"link {u}-{v}: latency must be >= 0 ms, got {self._latency_ms}"
+            )
+        # direction key -> owner -> reserved gbps
+        self._reservations: Dict[Tuple[str, str], Dict[str, float]] = {
+            (u, v): {},
+            (v, u): {},
+        }
+
+    @property
+    def latency_ms(self) -> float:
+        """One-way propagation latency."""
+        return self._latency_ms
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        """The two endpoint names in construction order."""
+        return (self.u, self.v)
+
+    def _direction(self, src: str, dst: str) -> Tuple[str, str]:
+        if (src, dst) not in self._reservations:
+            raise ConfigurationError(
+                f"link {self.u}-{self.v} has no direction {src}->{dst}"
+            )
+        return (src, dst)
+
+    def used_gbps(self, src: str, dst: str) -> float:
+        """Total reserved rate in the ``src -> dst`` direction."""
+        return sum(self._reservations[self._direction(src, dst)].values())
+
+    def residual_gbps(self, src: str, dst: str) -> float:
+        """Free rate in the ``src -> dst`` direction."""
+        return self.capacity_gbps - self.used_gbps(src, dst)
+
+    def utilisation(self, src: str, dst: str) -> float:
+        """Fraction of capacity in use in the ``src -> dst`` direction."""
+        return self.used_gbps(src, dst) / self.capacity_gbps
+
+    def owner_gbps(self, src: str, dst: str, owner: str) -> float:
+        """Rate currently reserved by ``owner`` in that direction."""
+        return self._reservations[self._direction(src, dst)].get(owner, 0.0)
+
+    def reserve(self, src: str, dst: str, gbps: float, owner: str) -> None:
+        """Reserve ``gbps`` for ``owner`` in the ``src -> dst`` direction.
+
+        Repeated reservations by the same owner accumulate.
+
+        Raises:
+            CapacityError: if the reservation would exceed capacity.
+        """
+        if gbps <= 0:
+            raise ConfigurationError(f"reservation must be > 0 Gbps, got {gbps}")
+        if self.failed:
+            raise CapacityError(
+                f"link {self.u}-{self.v} is failed; cannot reserve"
+            )
+        direction = self._direction(src, dst)
+        if self.used_gbps(src, dst) + gbps > self.capacity_gbps + 1e-9:
+            raise CapacityError(
+                f"link {src}->{dst}: cannot reserve {gbps} Gbps for {owner!r}; "
+                f"{self.residual_gbps(src, dst):.3f} Gbps free of "
+                f"{self.capacity_gbps} Gbps"
+            )
+        bucket = self._reservations[direction]
+        bucket[owner] = bucket.get(owner, 0.0) + gbps
+
+    def release(self, src: str, dst: str, owner: str) -> float:
+        """Release everything ``owner`` holds in that direction.
+
+        Returns:
+            The rate released (0.0 if the owner held nothing).
+        """
+        direction = self._direction(src, dst)
+        return self._reservations[direction].pop(owner, 0.0)
+
+    def release_owner(self, owner: str) -> float:
+        """Release the owner's reservations in *both* directions."""
+        total = 0.0
+        for direction in list(self._reservations):
+            total += self._reservations[direction].pop(owner, 0.0)
+        return total
+
+    def reservations(self, src: str, dst: str) -> Iterator[Reservation]:
+        """Iterate the live reservations in one direction."""
+        for owner, gbps in sorted(self._reservations[self._direction(src, dst)].items()):
+            yield Reservation(owner=owner, gbps=gbps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.u!r}, {self.v!r}, capacity={self.capacity_gbps} Gbps, "
+            f"distance={self.distance_km} km)"
+        )

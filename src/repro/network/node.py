@@ -1,0 +1,77 @@
+"""Network nodes.
+
+The paper's testbed contains three families of devices:
+
+* **ROADMs** — optical switching; cannot host models or aggregate traffic.
+* **IP routers** — electrical packet switching and traffic grooming; they
+  *can* aggregate model weights in-network when co-located compute exists.
+* **Servers** — Linux/docker hosts running the global and local AI models.
+
+Spine/leaf roles (open challenge #3) reuse the same class with dedicated
+kinds so the all-optical fabric can apply switch-specific constraints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class NodeKind(enum.Enum):
+    """Role of a device in the topology."""
+
+    ROADM = "roadm"
+    ROUTER = "router"
+    SERVER = "server"
+    SPINE = "spine"
+    LEAF = "leaf"
+
+    @property
+    def can_host_models(self) -> bool:
+        """Whether AI models (containers) may be placed on this node."""
+        return self is NodeKind.SERVER
+
+    @property
+    def can_aggregate(self) -> bool:
+        """Whether in-network aggregation of model weights may run here.
+
+        Servers aggregate natively; routers aggregate when the operator
+        attaches compute (the common assumption for multi-aggregation in
+        the paper's flexible scheduler).  Pure optical devices cannot.
+        """
+        return self in (NodeKind.SERVER, NodeKind.ROUTER, NodeKind.LEAF)
+
+
+@dataclass
+class Node:
+    """A device in the topology.
+
+    Attributes:
+        name: unique identifier within a :class:`~repro.network.graph.Network`.
+        kind: device role; drives hosting/aggregation capabilities.
+        aggregation_capable: override for :attr:`NodeKind.can_aggregate`
+            (``None`` defers to the kind).  Lets experiments model router
+            nodes without attached compute.
+        attrs: free-form metadata (coordinates, site name, ...).
+    """
+
+    name: str
+    kind: NodeKind = NodeKind.ROUTER
+    aggregation_capable: "bool | None" = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def can_aggregate(self) -> bool:
+        """Effective aggregation capability (override or kind default)."""
+        if self.aggregation_capable is not None:
+            return self.aggregation_capable
+        return self.kind.can_aggregate
+
+    @property
+    def can_host_models(self) -> bool:
+        """Whether containers/models may be placed on this node."""
+        return self.kind.can_host_models
+
+    def __hash__(self) -> int:
+        return hash(self.name)

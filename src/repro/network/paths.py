@@ -1,0 +1,432 @@
+"""Routing algorithms: Dijkstra, Yen's k-shortest paths, MSTs, terminal trees.
+
+All algorithms take an explicit *weight function* over directed edges
+(``weight(src, dst) -> float``).  A weight of ``math.inf`` marks an edge as
+unusable (e.g. no residual capacity), letting callers express admission
+control without mutating the topology.  The default weight is propagation
+latency, which makes ``dijkstra`` the paper's baseline "shortest path".
+
+The flexible scheduler's tree construction is :func:`terminal_tree`: an MST
+over the *metric closure* of the terminal set (global + local models),
+expanded back to physical hops — the classic 2-approximation of the Steiner
+tree, matching the poster's "find MSTs between the global model and local
+models on the auxiliary graph".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import NoPathError, TopologyError
+from .graph import Network
+
+WeightFn = Callable[[str, str], float]
+
+
+def latency_weight(network: Network) -> WeightFn:
+    """Weight function returning one-way propagation latency in ms.
+
+    Failed links weigh ``inf`` so routing transparently avoids them.
+    """
+
+    def weight(src: str, dst: str) -> float:
+        link = network.link(src, dst)
+        if link.failed:
+            return math.inf
+        return link.latency_ms
+
+    return weight
+
+
+def hop_weight(network: Network) -> WeightFn:
+    """Weight function counting hops (every live edge costs 1)."""
+
+    def weight(src: str, dst: str) -> float:
+        if network.link(src, dst).failed:
+            return math.inf
+        return 1.0
+
+    return weight
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """A routed path and its weight under the query's weight function.
+
+    Attributes:
+        nodes: node names from source to destination inclusive.
+        weight: sum of directed-edge weights along the path.
+    """
+
+    nodes: Tuple[str, ...]
+    weight: float
+
+    @property
+    def hops(self) -> int:
+        """Number of edges traversed."""
+        return len(self.nodes) - 1
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        """The directed edges of the path in order."""
+        return tuple(zip(self.nodes, self.nodes[1:]))
+
+
+@dataclass(frozen=True)
+class TreeResult:
+    """A tree embedded in the network, rooted for broadcast/upload use.
+
+    Attributes:
+        root: the root node (the global model's node).
+        parent: mapping child -> parent covering every non-root tree node.
+        weight: total weight of the tree's directed edges (child->parent
+            orientation) under the query's weight function.
+    """
+
+    root: str
+    parent: Dict[str, str]
+    weight: float
+
+    @property
+    def nodes(self) -> Set[str]:
+        """All nodes touched by the tree (including the root)."""
+        names = set(self.parent)
+        names.update(self.parent.values())
+        names.add(self.root)
+        return names
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        """Tree edges as (child, parent) pairs in deterministic order."""
+        return sorted(self.parent.items())
+
+    def children(self) -> Dict[str, List[str]]:
+        """Mapping parent -> sorted children."""
+        result: Dict[str, List[str]] = {}
+        for child, parent in self.parent.items():
+            result.setdefault(parent, []).append(child)
+        for kids in result.values():
+            kids.sort()
+        return result
+
+    def path_to_root(self, node: str) -> List[str]:
+        """Node names from ``node`` up to (and including) the root."""
+        path = [node]
+        seen = {node}
+        while path[-1] != self.root:
+            nxt = self.parent.get(path[-1])
+            if nxt is None:
+                raise TopologyError(f"node {node!r} is not connected to root {self.root!r}")
+            if nxt in seen:
+                raise TopologyError(f"cycle detected while walking {node!r} to root")
+            seen.add(nxt)
+            path.append(nxt)
+        return path
+
+    def depth(self, node: str) -> int:
+        """Number of edges between ``node`` and the root."""
+        return len(self.path_to_root(node)) - 1
+
+
+def dijkstra(
+    network: Network,
+    source: str,
+    destination: str,
+    weight: Optional[WeightFn] = None,
+) -> PathResult:
+    """Least-weight path between two nodes.
+
+    Ties are broken deterministically by insertion order of neighbours.
+
+    Raises:
+        NoPathError: if the destination is unreachable under ``weight``
+            (edges with infinite weight are skipped).
+    """
+    network.node(source)
+    network.node(destination)
+    if weight is None:
+        weight = latency_weight(network)
+    if source == destination:
+        return PathResult(nodes=(source,), weight=0.0)
+
+    distance: Dict[str, float] = {source: 0.0}
+    previous: Dict[str, str] = {}
+    counter = itertools.count()
+    frontier: List[Tuple[float, int, str]] = [(0.0, next(counter), source)]
+    settled: Set[str] = set()
+    while frontier:
+        dist, _tick, current = heapq.heappop(frontier)
+        if current in settled:
+            continue
+        settled.add(current)
+        if current == destination:
+            break
+        for neighbor in network.neighbors(current):
+            if neighbor in settled:
+                continue
+            edge_cost = weight(current, neighbor)
+            if math.isinf(edge_cost):
+                continue
+            if edge_cost < 0:
+                raise TopologyError(
+                    f"negative edge weight {edge_cost} on {current}->{neighbor}"
+                )
+            candidate = dist + edge_cost
+            if candidate < distance.get(neighbor, math.inf) - 1e-15:
+                distance[neighbor] = candidate
+                previous[neighbor] = current
+                heapq.heappush(frontier, (candidate, next(counter), neighbor))
+    if destination not in distance or destination not in settled:
+        raise NoPathError(source, destination)
+    nodes = [destination]
+    while nodes[-1] != source:
+        nodes.append(previous[nodes[-1]])
+    nodes.reverse()
+    return PathResult(nodes=tuple(nodes), weight=distance[destination])
+
+
+def k_shortest_paths(
+    network: Network,
+    source: str,
+    destination: str,
+    k: int,
+    weight: Optional[WeightFn] = None,
+) -> List[PathResult]:
+    """Yen's algorithm: up to ``k`` loop-free least-weight paths.
+
+    Returns fewer than ``k`` paths when the graph does not contain that
+    many distinct simple paths.
+
+    Raises:
+        NoPathError: if not even one path exists.
+    """
+    if k <= 0:
+        raise TopologyError(f"k must be > 0, got {k}")
+    if weight is None:
+        weight = latency_weight(network)
+
+    best = dijkstra(network, source, destination, weight)
+    paths: List[PathResult] = [best]
+    candidates: List[Tuple[float, int, PathResult]] = []
+    counter = itertools.count()
+
+    for _ in range(1, k):
+        last = paths[-1]
+        for spur_index in range(len(last.nodes) - 1):
+            spur_node = last.nodes[spur_index]
+            root_nodes = last.nodes[: spur_index + 1]
+
+            banned_edges: Set[Tuple[str, str]] = set()
+            for existing in paths:
+                if existing.nodes[: spur_index + 1] == root_nodes and len(
+                    existing.nodes
+                ) > spur_index + 1:
+                    banned_edges.add(
+                        (existing.nodes[spur_index], existing.nodes[spur_index + 1])
+                    )
+            banned_nodes = set(root_nodes[:-1])
+
+            def spur_weight(src: str, dst: str) -> float:
+                if (src, dst) in banned_edges:
+                    return math.inf
+                if dst in banned_nodes or src in banned_nodes:
+                    return math.inf
+                return weight(src, dst)
+
+            try:
+                spur_path = dijkstra(network, spur_node, destination, spur_weight)
+            except NoPathError:
+                continue
+            total_nodes = root_nodes[:-1] + spur_path.nodes
+            root_cost = sum(
+                weight(a, b) for a, b in zip(root_nodes, root_nodes[1:])
+            )
+            candidate = PathResult(
+                nodes=tuple(total_nodes), weight=root_cost + spur_path.weight
+            )
+            if all(candidate.nodes != p.nodes for p in paths) and all(
+                candidate.nodes != c[2].nodes for c in candidates
+            ):
+                heapq.heappush(
+                    candidates, (candidate.weight, next(counter), candidate)
+                )
+        if not candidates:
+            break
+        _, _, chosen = heapq.heappop(candidates)
+        paths.append(chosen)
+    return paths
+
+
+def minimum_spanning_tree(
+    network: Network,
+    *,
+    weight: Optional[WeightFn] = None,
+    root: Optional[str] = None,
+) -> TreeResult:
+    """Prim's MST over the whole network (undirected interpretation).
+
+    The weight of the undirected edge {u, v} is taken as
+    ``min(weight(u, v), weight(v, u))``.
+
+    Raises:
+        TopologyError: if the network is empty or disconnected under
+            finite-weight edges.
+    """
+    names = network.node_names()
+    if not names:
+        raise TopologyError("cannot build an MST of an empty network")
+    if weight is None:
+        weight = latency_weight(network)
+    start = root if root is not None else names[0]
+    network.node(start)
+
+    parent: Dict[str, str] = {}
+    in_tree: Set[str] = {start}
+    counter = itertools.count()
+    frontier: List[Tuple[float, int, str, str]] = []
+
+    def push_edges(node: str) -> None:
+        for neighbor in network.neighbors(node):
+            if neighbor in in_tree:
+                continue
+            cost = min(weight(node, neighbor), weight(neighbor, node))
+            if math.isinf(cost):
+                continue
+            heapq.heappush(frontier, (cost, next(counter), neighbor, node))
+
+    push_edges(start)
+    total = 0.0
+    while frontier and len(in_tree) < len(names):
+        cost, _tick, node, via = heapq.heappop(frontier)
+        if node in in_tree:
+            continue
+        in_tree.add(node)
+        parent[node] = via
+        total += cost
+        push_edges(node)
+    if len(in_tree) < len(names):
+        missing = sorted(set(names) - in_tree)
+        raise TopologyError(
+            f"network is disconnected; unreachable nodes: {missing[:5]}"
+        )
+    return TreeResult(root=start, parent=parent, weight=total)
+
+
+def terminal_tree(
+    network: Network,
+    root: str,
+    terminals: Sequence[str],
+    weight: Optional[WeightFn] = None,
+) -> TreeResult:
+    """Tree spanning ``{root} ∪ terminals`` via MST on the metric closure.
+
+    This is the flexible scheduler's core construction: compute shortest
+    paths between every pair of terminal nodes (under the auxiliary-graph
+    weight), build the complete "closure" graph on the terminals, take its
+    MST, then expand each MST edge back into its physical hops.  Shared
+    physical hops are merged, so the result is a tree embedded in the real
+    topology whose leaves/branches define routing paths and aggregation
+    points.
+
+    Raises:
+        NoPathError: if some terminal is unreachable from the rest.
+    """
+    if weight is None:
+        weight = latency_weight(network)
+    terminal_list = list(dict.fromkeys([root, *terminals]))  # dedupe, keep order
+    if len(terminal_list) == 1:
+        return TreeResult(root=root, parent={}, weight=0.0)
+
+    # Metric closure: all-pairs shortest paths among terminals.
+    closure: Dict[Tuple[str, str], PathResult] = {}
+    for i, a in enumerate(terminal_list):
+        for b in terminal_list[i + 1 :]:
+            closure[(a, b)] = dijkstra(network, a, b, weight)
+
+    def closure_path(a: str, b: str) -> PathResult:
+        if (a, b) in closure:
+            return closure[(a, b)]
+        reverse = closure[(b, a)]
+        return PathResult(nodes=tuple(reversed(reverse.nodes)), weight=reverse.weight)
+
+    # Prim over the closure, starting at the root.
+    in_tree = {root}
+    counter = itertools.count()
+    frontier: List[Tuple[float, int, str, str]] = []
+
+    def push(a: str) -> None:
+        for b in terminal_list:
+            if b in in_tree:
+                continue
+            heapq.heappush(
+                frontier, (closure_path(a, b).weight, next(counter), b, a)
+            )
+
+    push(root)
+    closure_parent: Dict[str, str] = {}
+    while frontier and len(in_tree) < len(terminal_list):
+        cost, _tick, node, via = heapq.heappop(frontier)
+        if math.isinf(cost):
+            break
+        if node in in_tree:
+            continue
+        in_tree.add(node)
+        closure_parent[node] = via
+        push(node)
+    missing = [t for t in terminal_list if t not in in_tree]
+    if missing:
+        raise NoPathError(root, missing[0], f"terminal {missing[0]!r} unreachable")
+
+    # Expand closure edges into physical hops, merging shared hops.
+    parent: Dict[str, str] = {}
+
+    def graft(path_nodes: Sequence[str]) -> None:
+        """Attach ``path_nodes`` (terminal -> ... -> tree) walking rootward."""
+        # path runs from an in-tree terminal to a new terminal; orient each
+        # hop child->parent towards the root side (the first element).
+        for towards_root, away in zip(path_nodes, path_nodes[1:]):
+            if away == root:
+                continue
+            if away in parent or away == root:
+                # already attached; keep the first (cheapest-first) parent
+                continue
+            parent[away] = towards_root
+
+    # Expand closure edges in tree order so every graft starts from a node
+    # that is already attached to the root.
+    entry_order = [root]
+    remaining = dict(closure_parent)
+    while remaining:
+        progressed = False
+        for node, via in list(remaining.items()):
+            if via in entry_order:
+                entry_order.append(node)
+                del remaining[node]
+                progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            raise TopologyError("closure parent structure is not a tree")
+
+    for node in entry_order[1:]:
+        via = closure_parent[node]
+        path_nodes = closure_path(via, node).nodes  # via -> ... -> node
+        graft(path_nodes)
+
+    # Total weight: sum of child->parent directed-edge weights.
+    total = sum(weight(child, par) for child, par in parent.items())
+    tree = TreeResult(root=root, parent=parent, weight=total)
+    # Sanity: every terminal must be in the tree.
+    for t in terminal_list:
+        tree.path_to_root(t)
+    return tree
+
+
+def path_latency_ms(network: Network, nodes: Iterable[str]) -> float:
+    """Total one-way propagation latency along a node sequence."""
+    sequence = list(nodes)
+    return sum(
+        network.edge_latency_ms(a, b) for a, b in zip(sequence, sequence[1:])
+    )

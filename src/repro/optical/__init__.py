@@ -1,0 +1,39 @@
+"""Optical layer: WDM wavelengths, lightpaths, ROADMs, grooming, timeslots.
+
+The paper's testbed switches traffic through ROADMs and grooms IP flows
+onto wavelengths.  This package reproduces that machinery:
+
+* :mod:`~repro.optical.wavelength` — per-link WDM channel occupancy and
+  assignment policies (first-fit, the baseline's "FF"; random; most-used)
+  under the wavelength-continuity constraint;
+* :mod:`~repro.optical.lightpath` — lightpath objects and their lifecycle;
+* :mod:`~repro.optical.roadm` — add/drop port accounting per ROADM;
+* :mod:`~repro.optical.grooming` — packing sub-wavelength demands onto
+  existing lightpaths before lighting new ones;
+* :mod:`~repro.optical.timeslot` — optical time-slice (OTS) tables for
+  sub-wavelength granularity on the spine-leaf fabric;
+* :mod:`~repro.optical.spineleaf` — the all-optical spine-leaf fabric of
+  open challenge #3, collaborating OCS (whole wavelengths) with OTS
+  (timeslots).
+"""
+
+from .grooming import GroomingLayer
+from .lightpath import Lightpath
+from .roadm import RoadmPorts
+from .spineleaf import OpticalSpineLeaf
+from .timeslot import TimeslotTable
+from .underlay import OpticalUnderlay, metro_underlay, optical_ring
+from .wavelength import AssignmentPolicy, WDMGrid
+
+__all__ = [
+    "AssignmentPolicy",
+    "WDMGrid",
+    "Lightpath",
+    "RoadmPorts",
+    "GroomingLayer",
+    "TimeslotTable",
+    "OpticalSpineLeaf",
+    "OpticalUnderlay",
+    "metro_underlay",
+    "optical_ring",
+]

@@ -1,0 +1,81 @@
+"""Lightpath objects: an end-to-end lit wavelength carrying groomed demands."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import CapacityError, ConfigurationError
+
+_lightpath_ids = itertools.count(1)
+
+
+@dataclass
+class Lightpath:
+    """A wavelength circuit between two electrical endpoints.
+
+    Attributes:
+        path: node sequence including intermediate ROADMs.
+        channel: wavelength index assigned by the grid.
+        capacity_gbps: usable rate of the channel.
+        demands: groomed demand id -> rate, for exact release.
+    """
+
+    path: Tuple[str, ...]
+    channel: int
+    capacity_gbps: float
+    lightpath_id: int = field(default_factory=lambda: next(_lightpath_ids))
+    demands: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ConfigurationError("a lightpath needs at least two nodes")
+        if self.capacity_gbps <= 0:
+            raise ConfigurationError(
+                f"lightpath capacity must be > 0, got {self.capacity_gbps}"
+            )
+
+    @property
+    def source(self) -> str:
+        return self.path[0]
+
+    @property
+    def destination(self) -> str:
+        return self.path[-1]
+
+    @property
+    def used_gbps(self) -> float:
+        return sum(self.demands.values())
+
+    @property
+    def residual_gbps(self) -> float:
+        return self.capacity_gbps - self.used_gbps
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def groom(self, demand_id: str, gbps: float) -> None:
+        """Pack a demand onto this lightpath.
+
+        Raises:
+            CapacityError: if the residual capacity is insufficient.
+        """
+        if gbps <= 0:
+            raise ConfigurationError(f"demand rate must be > 0, got {gbps}")
+        if gbps > self.residual_gbps + 1e-9:
+            raise CapacityError(
+                f"lightpath {self.lightpath_id} ({self.source}->{self.destination}): "
+                f"cannot groom {gbps} Gbps; {self.residual_gbps:.3f} free"
+            )
+        self.demands[demand_id] = self.demands.get(demand_id, 0.0) + gbps
+
+    def remove_demand(self, demand_id: str) -> float:
+        """Remove a groomed demand; returns the rate freed (0 if absent)."""
+        return self.demands.pop(demand_id, 0.0)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when nothing is groomed onto the lightpath."""
+        return not self.demands

@@ -1,0 +1,64 @@
+"""ROADM add/drop port accounting.
+
+A reconfigurable optical add/drop multiplexer can terminate (add/drop) only
+a limited number of wavelengths; express (pass-through) traffic is
+unconstrained in this model.  :class:`RoadmPorts` enforces that limit when
+lightpaths originate or terminate at a ROADM site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..errors import CapacityError, ConfigurationError
+
+
+class RoadmPorts:
+    """Per-site add/drop port pool.
+
+    Args:
+        ports_per_site: add/drop transceivers available at each site.
+    """
+
+    def __init__(self, ports_per_site: int = 16) -> None:
+        if ports_per_site < 1:
+            raise ConfigurationError(
+                f"ports_per_site must be >= 1, got {ports_per_site}"
+            )
+        self.ports_per_site = ports_per_site
+        self._in_use: Dict[str, Set[int]] = {}
+
+    def used(self, site: str) -> int:
+        """Add/drop ports currently in use at ``site``."""
+        return len(self._in_use.get(site, set()))
+
+    def free(self, site: str) -> int:
+        """Add/drop ports still available at ``site``."""
+        return self.ports_per_site - self.used(site)
+
+    def attach(self, site: str, lightpath_id: int) -> None:
+        """Consume one add/drop port at ``site`` for a lightpath endpoint.
+
+        Raises:
+            CapacityError: if the site has no free port.
+        """
+        ports = self._in_use.setdefault(site, set())
+        if lightpath_id in ports:
+            raise ConfigurationError(
+                f"lightpath {lightpath_id} already attached at {site!r}"
+            )
+        if len(ports) >= self.ports_per_site:
+            raise CapacityError(
+                f"no free add/drop port at {site!r} "
+                f"({self.ports_per_site} in use)"
+            )
+        ports.add(lightpath_id)
+
+    def detach(self, site: str, lightpath_id: int) -> None:
+        """Return the port used by a lightpath endpoint at ``site``."""
+        ports = self._in_use.get(site, set())
+        if lightpath_id not in ports:
+            raise ConfigurationError(
+                f"lightpath {lightpath_id} not attached at {site!r}"
+            )
+        ports.discard(lightpath_id)

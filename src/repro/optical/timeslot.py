@@ -1,0 +1,91 @@
+"""Optical time-slice (OTS) allocation tables.
+
+Open challenge #3 calls for collaborative management of *wavelengths and
+timeslots*.  :class:`TimeslotTable` models the timeslot half: a lit
+wavelength is divided into ``n_slots`` recurring slots; sub-wavelength
+demands reserve whole slots, and the achievable rate of a demand is
+``(slots / n_slots) * channel_gbps``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set
+
+from ..errors import CapacityError, ConfigurationError
+
+
+class TimeslotTable:
+    """Slot occupancy of a single lit wavelength.
+
+    Args:
+        n_slots: recurring timeslots per frame.
+        channel_gbps: full-channel rate; one slot provides
+            ``channel_gbps / n_slots``.
+    """
+
+    def __init__(self, n_slots: int = 10, channel_gbps: float = 100.0) -> None:
+        if n_slots < 1:
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
+        if channel_gbps <= 0:
+            raise ConfigurationError(
+                f"channel_gbps must be > 0, got {channel_gbps}"
+            )
+        self.n_slots = n_slots
+        self.channel_gbps = channel_gbps
+        self._owner_of_slot: Dict[int, str] = {}
+
+    @property
+    def slot_gbps(self) -> float:
+        """Rate provided by one slot."""
+        return self.channel_gbps / self.n_slots
+
+    def slots_needed(self, gbps: float) -> int:
+        """Minimum whole slots to carry ``gbps``."""
+        if gbps <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {gbps}")
+        return max(1, math.ceil(gbps / self.slot_gbps - 1e-9))
+
+    def free_slots(self) -> List[int]:
+        """Unallocated slot indices, ascending."""
+        return [s for s in range(self.n_slots) if s not in self._owner_of_slot]
+
+    def owner_slots(self, owner: str) -> Set[int]:
+        """Slots currently held by ``owner``."""
+        return {s for s, o in self._owner_of_slot.items() if o == owner}
+
+    def allocate(self, owner: str, gbps: float) -> List[int]:
+        """Reserve enough slots (first-fit) for ``gbps`` under ``owner``.
+
+        Returns:
+            The slot indices allocated.
+
+        Raises:
+            CapacityError: if not enough free slots remain.
+        """
+        needed = self.slots_needed(gbps)
+        free = self.free_slots()
+        if len(free) < needed:
+            raise CapacityError(
+                f"need {needed} slots for {gbps} Gbps, only {len(free)} free"
+            )
+        taken = free[:needed]
+        for slot in taken:
+            self._owner_of_slot[slot] = owner
+        return taken
+
+    def release(self, owner: str) -> int:
+        """Free every slot held by ``owner``; returns how many were freed."""
+        mine = self.owner_slots(owner)
+        for slot in mine:
+            del self._owner_of_slot[slot]
+        return len(mine)
+
+    def owner_gbps(self, owner: str) -> float:
+        """Rate currently guaranteed to ``owner``."""
+        return len(self.owner_slots(owner)) * self.slot_gbps
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of slots allocated."""
+        return len(self._owner_of_slot) / self.n_slots

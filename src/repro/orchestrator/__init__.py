@@ -1,0 +1,37 @@
+"""The programmable orchestrator of the paper's Fig. 2, in software.
+
+Components map one-to-one onto the testbed's control plane:
+
+* :class:`~repro.orchestrator.database.Database` — stores AI tasks,
+  schedules, and reported networking conditions;
+* :class:`~repro.orchestrator.sdn.SdnController` — turns schedules into
+  flow rules and counts reconfigurations;
+* :class:`~repro.orchestrator.taskmanager.AITaskManager` — admits new AI
+  tasks and tracks their lifecycle;
+* :class:`~repro.orchestrator.monitor.NetworkMonitor` — periodically
+  reports network state into the database;
+* :class:`~repro.orchestrator.orchestrator.Orchestrator` — the façade
+  that embeds the scheduling policy and coordinates everything.
+"""
+
+from .campaign import CampaignResult, CampaignRunner, TaskOutcome
+from .database import Database, TaskRecord, TaskStatus
+from .monitor import NetworkMonitor
+from .orchestrator import Orchestrator, build_servers_for
+from .sdn import FlowRule, SdnController
+from .taskmanager import AITaskManager
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "TaskOutcome",
+    "Database",
+    "TaskRecord",
+    "TaskStatus",
+    "NetworkMonitor",
+    "Orchestrator",
+    "build_servers_for",
+    "FlowRule",
+    "SdnController",
+    "AITaskManager",
+]

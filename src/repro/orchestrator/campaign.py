@@ -1,0 +1,182 @@
+"""Campaign runner: whole task lifecycles on the simulation engine.
+
+Everything else in the orchestrator package acts on one instant; the
+campaign runner plays a *timeline*: tasks are admitted at their arrival
+times, run their synchronous training rounds as cooperative processes
+(each round's duration re-evaluated against the live network, so
+re-scheduling and departures change subsequent rounds), an optional
+periodic re-scheduling pass exercises the challenge-#1 policy, and
+completed tasks release their resources — the closest software analogue
+of letting the paper's testbed run for an afternoon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.prediction import IterationPredictor
+from ..errors import OrchestrationError
+from ..sim.engine import Simulator
+from ..sim.process import Process
+from ..tasks.workload import TaskWorkload
+from .database import TaskStatus
+from .orchestrator import Orchestrator
+
+
+@dataclass
+class TaskOutcome:
+    """Lifecycle record of one task in a campaign.
+
+    Attributes:
+        task_id: the task.
+        admitted_ms: when admission succeeded (None if blocked at entry).
+        completed_ms: when the final round finished (None if unfinished).
+        rounds_run: rounds actually executed.
+        round_durations_ms: duration of each executed round.
+        reschedules: times the task's paths were recomputed mid-flight.
+    """
+
+    task_id: str
+    admitted_ms: Optional[float] = None
+    completed_ms: Optional[float] = None
+    rounds_run: int = 0
+    round_durations_ms: List[float] = field(default_factory=list)
+    reschedules: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_ms is not None
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate outcome of a campaign run.
+
+    Attributes:
+        outcomes: per-task lifecycle records (admission order).
+        makespan_ms: completion time of the last finishing task.
+        blocked: tasks that never got admitted.
+    """
+
+    outcomes: Dict[str, TaskOutcome]
+    makespan_ms: float
+    blocked: int
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.finished)
+
+    @property
+    def mean_round_ms(self) -> float:
+        durations = [
+            d for o in self.outcomes.values() for d in o.round_durations_ms
+        ]
+        if not durations:
+            return 0.0
+        return sum(durations) / len(durations)
+
+    @property
+    def total_reschedules(self) -> int:
+        return sum(o.reschedules for o in self.outcomes.values())
+
+
+class CampaignRunner:
+    """Plays a workload through an orchestrator on simulated time.
+
+    Args:
+        orchestrator: admission/scheduling/completion machinery.
+        workload: the task mix (arrival times honoured).
+        reschedule_period_ms: run ``orchestrator.reschedule_pass()``
+            every period (requires a configured rescheduling policy);
+            ``None`` disables the loop.
+        predictor: optional iteration predictor fed with every round.
+    """
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        workload: TaskWorkload,
+        *,
+        reschedule_period_ms: Optional[float] = None,
+        predictor: Optional[IterationPredictor] = None,
+    ) -> None:
+        if reschedule_period_ms is not None:
+            if reschedule_period_ms <= 0:
+                raise OrchestrationError(
+                    f"reschedule_period_ms must be > 0, got {reschedule_period_ms}"
+                )
+            if orchestrator.rescheduling is None:
+                raise OrchestrationError(
+                    "periodic rescheduling needs a policy on the orchestrator"
+                )
+        self._orchestrator = orchestrator
+        self._workload = workload
+        self._period = reschedule_period_ms
+        self._predictor = predictor
+
+    def run(self, until: Optional[float] = None) -> CampaignResult:
+        """Execute the campaign; returns once all work (or ``until``) ends."""
+        sim = Simulator()
+        orchestrator = self._orchestrator
+        outcomes: Dict[str, TaskOutcome] = {
+            task.task_id: TaskOutcome(task_id=task.task_id)
+            for task in self._workload
+        }
+        finish_times: List[float] = []
+
+        def training_loop(task_id: str, rounds: int):
+            outcome = outcomes[task_id]
+            for _ in range(rounds):
+                record = orchestrator.database.record(task_id)
+                if record.status is not TaskStatus.RUNNING:
+                    return
+                duration = orchestrator.evaluate(task_id).round_latency.total_ms
+                yield duration
+                outcome.rounds_run += 1
+                outcome.round_durations_ms.append(duration)
+                outcome.reschedules = record.reschedules
+                record.remaining_rounds -= 1
+                if self._predictor is not None:
+                    self._predictor.observe(task_id, duration)
+            record = orchestrator.database.record(task_id)
+            if record.status is TaskStatus.RUNNING:
+                orchestrator.complete(task_id)
+                outcome.completed_ms = sim.now
+                finish_times.append(sim.now)
+
+        def admit(task) -> None:
+            record = orchestrator.admit(task)
+            if record.status is not TaskStatus.RUNNING:
+                return
+            outcomes[task.task_id].admitted_ms = sim.now
+            Process(
+                sim,
+                training_loop(task.task_id, record.task.rounds),
+                name=f"train:{task.task_id}",
+            )
+
+        for task in self._workload:
+            sim.schedule(
+                task.arrival_ms, lambda t=task: admit(t), name=f"admit:{task.task_id}"
+            )
+
+        if self._period is not None:
+            def reschedule_loop():
+                while True:
+                    yield self._period
+                    if not orchestrator.database.running():
+                        return
+                    orchestrator.reschedule_pass()
+
+            Process(sim, reschedule_loop(), name="reschedule-loop")
+
+        sim.run(until=until)
+        blocked = sum(
+            1 for o in outcomes.values() if o.admitted_ms is None
+        )
+        return CampaignResult(
+            outcomes=outcomes,
+            makespan_ms=max(finish_times) if finish_times else sim.now,
+            blocked=blocked,
+        )

@@ -1,0 +1,66 @@
+"""Network telemetry: periodic state reports into the database.
+
+"An orchestrator is used to report networking conditions to the database" —
+:class:`NetworkMonitor` does exactly that, either on demand
+(:meth:`report_once`) or as a periodic process on the simulation engine
+(:meth:`start`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import OrchestrationError
+from ..network.graph import Network
+from ..network.state import NetworkState
+from ..sim.engine import Simulator
+from ..sim.process import Process
+from .database import Database
+
+
+class NetworkMonitor:
+    """Captures :class:`NetworkState` snapshots into the database.
+
+    Args:
+        network: the live network to observe.
+        database: where snapshots are stored.
+        period_ms: reporting interval for the periodic mode.
+    """
+
+    def __init__(
+        self, network: Network, database: Database, period_ms: float = 100.0
+    ) -> None:
+        if period_ms <= 0:
+            raise OrchestrationError(
+                f"period_ms must be > 0, got {period_ms}"
+            )
+        self._network = network
+        self._db = database
+        self.period_ms = period_ms
+        self._process: Optional[Process] = None
+
+    def report_once(self, time_ms: float = 0.0) -> NetworkState:
+        """Capture and store one snapshot; returns it."""
+        snapshot = NetworkState.capture(self._network, time_ms)
+        self._db.store_snapshot(snapshot)
+        return snapshot
+
+    def start(self, sim: Simulator, duration_ms: float) -> Process:
+        """Report every ``period_ms`` until ``duration_ms`` of sim time.
+
+        Raises:
+            OrchestrationError: if the monitor is already running.
+        """
+        if self._process is not None and not self._process.finished:
+            raise OrchestrationError("monitor already running")
+
+        def body():
+            elapsed = 0.0
+            while elapsed < duration_ms:
+                self.report_once(sim.now)
+                yield self.period_ms
+                elapsed += self.period_ms
+            self.report_once(sim.now)
+
+        self._process = Process(sim, body(), name="network-monitor")
+        return self._process

@@ -1,0 +1,324 @@
+"""The orchestrator façade: admission → placement → scheduling → rules.
+
+This is the paper's logically-centralised controller.  For every admitted
+task it deploys model containers through the computing manager, asks the
+embedded scheduling policy for routes/trees (reserving network capacity),
+programs the SDN controller, and records everything in the database.  It
+also runs the re-scheduling loop of challenge #1 on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..compute.container import Container, ResourceDemand
+from ..compute.manager import ComputingManager
+from ..compute.server import Server
+from ..core.base import Scheduler
+from ..core.evaluation import EvaluationConfig, ScheduleEvaluator
+from ..core.metrics import TaskReport
+from ..core.rescheduling import ReschedulingPolicy
+from ..errors import OrchestrationError, PlacementError, SchedulingError
+from ..network.graph import Network
+from ..tasks.aitask import AITask
+from .database import Database, TaskRecord, TaskStatus
+from .sdn import SdnController
+from .taskmanager import AITaskManager, SelectionFn
+
+
+def build_servers_for(
+    network: Network,
+    manager: ComputingManager,
+    *,
+    cpu_cores: float = 64.0,
+    gpu_gflops: float = 100_000.0,
+    memory_gb: float = 256.0,
+) -> List[Server]:
+    """Register one server per model-hosting node of the network."""
+    servers = []
+    for node_name in network.servers():
+        server = Server(
+            f"srv@{node_name}",
+            node_name,
+            cpu_cores=cpu_cores,
+            gpu_gflops=gpu_gflops,
+            memory_gb=memory_gb,
+        )
+        manager.register(server)
+        servers.append(server)
+    return servers
+
+
+class Orchestrator:
+    """Coordinates scheduling, placement, and flow programming.
+
+    Args:
+        network: the live data plane.
+        scheduler: the embedded scheduling policy (fixed or flexible).
+        compute: computing manager with registered servers; when None a
+            default server is created at every model-hosting node.
+        database / sdn / selection: control-plane collaborators, created
+            with defaults when omitted.
+        rescheduling: policy for the re-scheduling loop (None disables).
+        evaluation: evaluation model used by :meth:`evaluate`.
+        container_gflops: accelerator rate reserved per model container.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        scheduler: Scheduler,
+        *,
+        compute: Optional[ComputingManager] = None,
+        database: Optional[Database] = None,
+        sdn: Optional[SdnController] = None,
+        selection: Optional[SelectionFn] = None,
+        rescheduling: Optional[ReschedulingPolicy] = None,
+        evaluation: Optional[EvaluationConfig] = None,
+        container_gflops: float = 50_000.0,
+    ) -> None:
+        if container_gflops <= 0:
+            raise OrchestrationError(
+                f"container_gflops must be > 0, got {container_gflops}"
+            )
+        self.network = network
+        self.scheduler = scheduler
+        self.database = database or Database()
+        self.sdn = sdn or SdnController()
+        self.tasks = AITaskManager(self.database, selection)
+        self.rescheduling = rescheduling
+        self.evaluation = evaluation or EvaluationConfig()
+        self._container_gflops = container_gflops
+        if compute is None:
+            compute = ComputingManager()
+            build_servers_for(network, compute)
+        self.compute = compute
+        self._clock_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _container_id(self, task_id: str, node: str) -> str:
+        return f"{task_id}:{node}"
+
+    def _deploy_containers(self, task: AITask) -> List[str]:
+        """Place one container per model node; rolls back on failure."""
+        demand = ResourceDemand(
+            cpu_cores=4.0,
+            gpu_gflops=self._container_gflops,
+            memory_gb=max(4.0, task.size_mb / 2000.0),
+        )
+        placed: List[str] = []
+        try:
+            for index, node in enumerate([task.global_node, *task.local_nodes]):
+                role = "global" if index == 0 else f"local-{index - 1}"
+                container = Container(
+                    container_id=self._container_id(task.task_id, node),
+                    demand=demand,
+                    role=role,
+                )
+                self.compute.deploy(container, node=node)
+                placed.append(container.container_id)
+        except PlacementError:
+            for container_id in placed:
+                self.compute.destroy(container_id)
+            raise
+        return placed
+
+    def _destroy_containers(self, task: AITask) -> None:
+        for node in [task.global_node, *task.local_nodes]:
+            try:
+                self.compute.destroy(self._container_id(task.task_id, node))
+            except PlacementError:
+                pass  # never deployed (admission failed mid-way)
+
+    def _speed_fn(self, task: AITask):
+        def speed(node: str) -> float:
+            container_id = self._container_id(task.task_id, node)
+            try:
+                return self.compute.container_gflops(container_id)
+            except PlacementError:
+                return self._container_gflops
+
+        return speed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def admit(self, task: AITask) -> TaskRecord:
+        """Admit, place, schedule, and program one task.
+
+        On scheduling or placement failure the task is recorded BLOCKED
+        with every side effect rolled back.
+        """
+        record = self.tasks.submit(task)
+        admitted = record.task  # post-selection task
+        self._clock_ms = max(self._clock_ms, admitted.arrival_ms)
+        try:
+            self._deploy_containers(admitted)
+        except PlacementError as exc:
+            record.status = TaskStatus.BLOCKED
+            self.database.log(self._clock_ms, f"{admitted.task_id}: placement failed: {exc}")
+            return record
+        try:
+            schedule = self.scheduler.schedule(admitted, self.network)
+        except SchedulingError as exc:
+            self._destroy_containers(admitted)
+            record.status = TaskStatus.BLOCKED
+            self.database.log(self._clock_ms, f"{admitted.task_id}: scheduling failed: {exc}")
+            return record
+        config_ms = self.sdn.install(schedule)
+        record.schedule = schedule
+        record.status = TaskStatus.RUNNING
+        record.remaining_rounds = admitted.rounds
+        self.database.log(
+            self._clock_ms,
+            f"{admitted.task_id}: running via {self.scheduler.name} "
+            f"({config_ms:.3f} ms configuration)",
+        )
+        return record
+
+    def complete(self, task_id: str) -> TaskRecord:
+        """Finish a task: free capacity, rules, and containers."""
+        record = self.database.record(task_id)
+        if record.status is not TaskStatus.RUNNING:
+            raise OrchestrationError(
+                f"task {task_id!r} is {record.status.value}, not running"
+            )
+        assert record.schedule is not None
+        self.scheduler.release(record.schedule, self.network)
+        self.sdn.remove(task_id)
+        self._destroy_containers(record.task)
+        record.status = TaskStatus.COMPLETED
+        record.remaining_rounds = 0
+        self.database.log(self._clock_ms, f"{task_id}: completed")
+        return record
+
+    def evaluate(self, task_id: str) -> TaskReport:
+        """Evaluate a RUNNING task's schedule under the current config."""
+        record = self.database.record(task_id)
+        if record.schedule is None:
+            raise OrchestrationError(f"task {task_id!r} has no schedule")
+        evaluator = ScheduleEvaluator(
+            self.network, self.evaluation, speed_fn=self._speed_fn(record.task)
+        )
+        return evaluator.report(record.schedule)
+
+    # ------------------------------------------------------------------
+    # Re-scheduling loop (challenge #1)
+    # ------------------------------------------------------------------
+    def reschedule_pass(self) -> Dict[str, bool]:
+        """Offer every RUNNING task a re-schedule; apply approved ones.
+
+        Returns:
+            task id -> whether it was re-scheduled.
+
+        Raises:
+            OrchestrationError: when no rescheduling policy is configured.
+        """
+        if self.rescheduling is None:
+            raise OrchestrationError("no rescheduling policy configured")
+        outcomes: Dict[str, bool] = {}
+        for record in self.database.running():
+            assert record.schedule is not None
+            decision = self.rescheduling.evaluate(
+                record.task,
+                record.schedule,
+                self.network,
+                self.scheduler,
+                remaining_rounds=record.remaining_rounds,
+                evaluation=self.evaluation,
+            )
+            outcomes[record.task.task_id] = decision.reschedule
+            self.database.log(
+                self._clock_ms,
+                f"{record.task.task_id}: reschedule={decision.reschedule} "
+                f"({decision.reason})",
+            )
+            if not decision.reschedule:
+                continue
+            self.scheduler.release(record.schedule, self.network)
+            self.sdn.remove(record.task.task_id)
+            try:
+                new_schedule = self.scheduler.schedule(record.task, self.network)
+            except SchedulingError:
+                # The prediction was made on a scratch copy; if the live
+                # network rejects, restore nothing and block the task.
+                record.status = TaskStatus.BLOCKED
+                record.schedule = None
+                continue
+            self.sdn.install(new_schedule)
+            record.schedule = new_schedule
+            record.reschedules += 1
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def handle_link_failure(self, u: str, v: str) -> Dict[str, bool]:
+        """Fail a link and repair every running task routed across it.
+
+        Affected tasks have their reservations released and are re-run
+        through the scheduler on the degraded topology.  Tasks that can
+        be re-routed keep RUNNING (with fresh flow rules); tasks that
+        cannot are marked BLOCKED.
+
+        Returns:
+            affected task id -> True if repaired, False if blocked.
+        """
+        affected = [
+            owner
+            for owner in self.network.owners_on_link(u, v)
+            if owner in {r.task.task_id for r in self.database.running()}
+        ]
+        self.network.fail_link(u, v)
+        self.database.log(self._clock_ms, f"link {u}-{v} failed; {len(affected)} tasks affected")
+        outcomes: Dict[str, bool] = {}
+        for task_id in affected:
+            record = self.database.record(task_id)
+            assert record.schedule is not None
+            self.scheduler.release(record.schedule, self.network)
+            self.sdn.remove(task_id)
+            try:
+                record.schedule = self.scheduler.schedule(record.task, self.network)
+            except SchedulingError as exc:
+                record.schedule = None
+                record.status = TaskStatus.BLOCKED
+                outcomes[task_id] = False
+                self.database.log(
+                    self._clock_ms, f"{task_id}: blocked after failure: {exc}"
+                )
+                continue
+            self.sdn.install(record.schedule)
+            record.reschedules += 1
+            outcomes[task_id] = True
+            self.database.log(self._clock_ms, f"{task_id}: re-routed around {u}-{v}")
+        return outcomes
+
+    def handle_link_restore(self, u: str, v: str) -> None:
+        """Bring a failed link back (re-optimisation is the policy's job)."""
+        self.network.restore_link(u, v)
+        self.database.log(self._clock_ms, f"link {u}-{v} restored")
+
+    # ------------------------------------------------------------------
+    # Batch driving
+    # ------------------------------------------------------------------
+    def run_workload(self, tasks) -> List[TaskReport]:
+        """Admit every task, evaluate the RUNNING ones, return reports."""
+        reports: List[TaskReport] = []
+        for task in tasks:
+            record = self.admit(task)
+            if record.status is TaskStatus.RUNNING:
+                reports.append(self.evaluate(task.task_id))
+        return reports
+
+    @property
+    def blocking_ratio(self) -> float:
+        """Fraction of admitted tasks that ended up BLOCKED."""
+        records = self.database.records()
+        if not records:
+            return 0.0
+        blocked = sum(
+            1 for record in records if record.status is TaskStatus.BLOCKED
+        )
+        return blocked / len(records)

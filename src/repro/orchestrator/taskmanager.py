@@ -1,0 +1,83 @@
+"""The AI task manager: admission queue and lifecycle transitions.
+
+"An AI task manager is responsible for managing new AI tasks and storing
+them into [the] database."  This component validates incoming tasks
+(optionally applying a client-selection strategy first), inserts them into
+the database, and keeps the pending queue the orchestrator drains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from ..errors import OrchestrationError
+from ..tasks.aitask import AITask
+from .database import Database, TaskRecord, TaskStatus
+
+#: Optional transformation applied at admission (client selection).
+SelectionFn = Callable[[AITask], AITask]
+
+
+class AITaskManager:
+    """Admits tasks into the database and exposes the pending queue.
+
+    Args:
+        database: the shared store.
+        selection: optional client-selection strategy applied on
+            admission (challenge #1); identity when None.
+    """
+
+    def __init__(
+        self, database: Database, selection: Optional[SelectionFn] = None
+    ) -> None:
+        self._db = database
+        self._selection = selection
+        self._pending: Deque[str] = deque()
+
+    def submit(self, task: AITask) -> TaskRecord:
+        """Admit a new task (after client selection) and queue it.
+
+        Raises:
+            OrchestrationError: on duplicate ids (from the database).
+        """
+        admitted = self._selection(task) if self._selection else task
+        if admitted.task_id != task.task_id:
+            raise OrchestrationError(
+                "selection strategies must not change the task id "
+                f"({task.task_id!r} -> {admitted.task_id!r})"
+            )
+        record = self._db.insert_task(admitted)
+        self._pending.append(admitted.task_id)
+        return record
+
+    def next_pending(self) -> Optional[TaskRecord]:
+        """Pop the oldest queued task still PENDING (None when drained)."""
+        while self._pending:
+            task_id = self._pending.popleft()
+            record = self._db.record(task_id)
+            if record.status is TaskStatus.PENDING:
+                return record
+        return None
+
+    def requeue(self, task_id: str) -> None:
+        """Put a blocked task back at the end of the queue."""
+        record = self._db.record(task_id)
+        record.status = TaskStatus.PENDING
+        self._pending.append(task_id)
+
+    @property
+    def pending_count(self) -> int:
+        """Queued ids that are still PENDING."""
+        return sum(
+            1
+            for task_id in self._pending
+            if self._db.record(task_id).status is TaskStatus.PENDING
+        )
+
+    def pending_ids(self) -> List[str]:
+        return [
+            task_id
+            for task_id in self._pending
+            if self._db.record(task_id).status is TaskStatus.PENDING
+        ]

@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates its schedulers on a physical programmable testbed; this
+package replaces wall-clock measurement with a deterministic, seedable
+discrete-event engine.  It provides:
+
+* :class:`~repro.sim.events.Event` and the priority queue that orders them,
+* :class:`~repro.sim.engine.Simulator`, the event loop with named timers,
+* :class:`~repro.sim.process.Process`, generator-based cooperative
+  processes (``yield delay`` to advance simulated time),
+* :class:`~repro.sim.rng.RandomStreams`, independent named random streams
+  so that, e.g., task arrivals and background traffic are reproducible in
+  isolation from one another.
+"""
+
+from .engine import Simulator
+from .events import Event, EventQueue
+from .process import Process
+from .rng import RandomStreams
+
+__all__ = ["Event", "EventQueue", "Simulator", "Process", "RandomStreams"]

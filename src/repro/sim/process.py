@@ -1,0 +1,82 @@
+"""Generator-based cooperative processes on top of the event engine.
+
+A process is a Python generator that ``yield``s the number of simulated
+milliseconds it wants to sleep.  The engine resumes it after that delay.
+This is the minimal process model the experiment harnesses need (training
+rounds, periodic telemetry reporting, background traffic loops) without
+pulling in a full coroutine framework.
+
+Example::
+
+    def trainer(sim):
+        for round_index in range(3):
+            yield 10.0           # train for 10 ms
+            print("round", round_index, "done at", sim.now)
+
+    sim = Simulator()
+    Process(sim, trainer(sim), name="trainer")
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..errors import SimulationError
+from .engine import Simulator
+
+ProcessBody = Generator[float, None, Any]
+
+
+class Process:
+    """Drive a generator through simulated time.
+
+    The generator may yield non-negative floats (sleep durations in ms).
+    When it returns, the process is *finished* and ``on_done`` fires with
+    the generator's return value.
+
+    Attributes:
+        name: label used in traces and errors.
+        finished: True once the generator has returned.
+        result: return value of the generator (``None`` until finished).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        body: ProcessBody,
+        *,
+        name: str = "process",
+        on_done: Optional[Callable[[Any], None]] = None,
+        start_delay: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._body = body
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._on_done = on_done
+        self._cancelled = False
+        sim.schedule_in(start_delay, self._advance, name=f"{name}:start")
+
+    def cancel(self) -> None:
+        """Stop resuming the generator; it never finishes."""
+        self._cancelled = True
+        self._body.close()
+
+    def _advance(self) -> None:
+        if self._cancelled or self.finished:
+            return
+        try:
+            delay = next(self._body)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            if self._on_done is not None:
+                self._on_done(self.result)
+            return
+        if not isinstance(delay, (int, float)) or delay < 0:
+            raise SimulationError(
+                f"process {self.name!r} yielded {delay!r}; expected a delay >= 0 ms"
+            )
+        self._sim.schedule_in(float(delay), self._advance, name=f"{self.name}:resume")

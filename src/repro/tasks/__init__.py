@@ -1,0 +1,45 @@
+"""Distributed AI task model: ML models, tasks, procedures, workloads.
+
+A *distributed AI task* (the paper's service unit) is one global model plus
+``k`` local models training collaboratively.  Every round runs a
+**broadcast** procedure (global weights out), local **training**, and an
+**upload** procedure (local weights back, aggregated into the global
+model).  This package defines:
+
+* :mod:`~repro.tasks.models` — a catalogue of ML model specs (parameter
+  counts drive weight-transfer size, FLOPs drive training time);
+* :mod:`~repro.tasks.aitask` — the :class:`AITask` request object;
+* :mod:`~repro.tasks.aggregation` — cost model and plan for (multi-)
+  aggregation;
+* :mod:`~repro.tasks.workload` — reproducible task generators (the
+  paper's "30 AI tasks" evaluation mix);
+* :mod:`~repro.tasks.selection` — client-selection strategies (open
+  challenge #1).
+"""
+
+from .aggregation import AggregationModel, UploadAggregationPlan
+from .aitask import AITask
+from .models import MLModelSpec, MODEL_CATALOGUE, get_model
+from .selection import (
+    select_all,
+    select_random,
+    select_top_utility,
+    utility_proportional,
+)
+from .workload import TaskWorkload, WorkloadConfig, generate_workload
+
+__all__ = [
+    "AggregationModel",
+    "UploadAggregationPlan",
+    "AITask",
+    "MLModelSpec",
+    "MODEL_CATALOGUE",
+    "get_model",
+    "select_all",
+    "select_random",
+    "select_top_utility",
+    "utility_proportional",
+    "TaskWorkload",
+    "WorkloadConfig",
+    "generate_workload",
+]

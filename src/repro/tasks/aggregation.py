@@ -1,0 +1,175 @@
+"""Aggregation cost model and the multi-aggregation plan over upload trees.
+
+Aggregating two weight vectors is an element-wise average: the cost model
+charges time proportional to the model size per *merge* (combining one more
+input into the running aggregate).  The flexible scheduler performs these
+merges at the "middle and final nodes of the upload procedure" (the
+poster), i.e. at every aggregation-capable branch node of the upload tree.
+
+:class:`UploadAggregationPlan` walks a routed tree bottom-up and derives,
+per node, how many payloads arrive, how many merges run there, and how many
+payloads continue upward.  Nodes that cannot aggregate (e.g. ROADMs) relay
+all incoming payloads unchanged, which costs upstream bandwidth — exactly
+the behaviour that makes aggregation-point choice matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from ..errors import ConfigurationError, TaskError
+from ..network.graph import Network
+from ..network.paths import TreeResult
+
+
+@dataclass(frozen=True)
+class AggregationModel:
+    """Time to merge model replicas at a node.
+
+    Attributes:
+        merge_ms_per_mb: milliseconds to fold one extra replica into the
+            running aggregate, per megabit of model size (memory-bandwidth
+            bound in practice).
+        fixed_overhead_ms: per-merge bookkeeping time.
+    """
+
+    merge_ms_per_mb: float = 0.002
+    fixed_overhead_ms: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.merge_ms_per_mb < 0:
+            raise ConfigurationError(
+                f"merge_ms_per_mb must be >= 0, got {self.merge_ms_per_mb}"
+            )
+        if self.fixed_overhead_ms < 0:
+            raise ConfigurationError(
+                f"fixed_overhead_ms must be >= 0, got {self.fixed_overhead_ms}"
+            )
+
+    def merge_ms(self, size_mb: float, n_merges: int = 1) -> float:
+        """Time for ``n_merges`` sequential merges of a ``size_mb`` model."""
+        if size_mb < 0:
+            raise ConfigurationError(f"size must be >= 0 Mb, got {size_mb}")
+        if n_merges < 0:
+            raise ConfigurationError(f"n_merges must be >= 0, got {n_merges}")
+        if n_merges == 0:
+            return 0.0
+        return n_merges * (self.fixed_overhead_ms + self.merge_ms_per_mb * size_mb)
+
+
+@dataclass
+class NodeAggregation:
+    """What happens at one tree node during upload.
+
+    Attributes:
+        node: the node name.
+        payloads_in: replicas arriving from children plus the node's own
+            local contribution (if it hosts a local model).
+        merges: merges executed here (0 when the node cannot aggregate or
+            receives fewer than two payloads).
+        payloads_out: replicas forwarded towards the parent.
+    """
+
+    node: str
+    payloads_in: int
+    merges: int
+    payloads_out: int
+
+
+class UploadAggregationPlan:
+    """Bottom-up aggregation schedule over an upload tree.
+
+    Args:
+        network: supplies per-node aggregation capability.
+        tree: the upload tree (root = global node).
+        sources: nodes contributing a local model payload.
+
+    Raises:
+        TaskError: if a source is not part of the tree.
+    """
+
+    def __init__(
+        self, network: Network, tree: TreeResult, sources: Sequence[str]
+    ) -> None:
+        self._network = network
+        self._tree = tree
+        self._sources: Set[str] = set(sources)
+        missing = self._sources - tree.nodes
+        if missing:
+            raise TaskError(
+                f"sources {sorted(missing)} are not in the upload tree"
+            )
+        self._per_node: Dict[str, NodeAggregation] = {}
+        self._edge_payloads: Dict[str, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        children = self._tree.children()
+        # Post-order traversal (iterative, deterministic child order).
+        order: List[str] = []
+        stack = [self._tree.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(children.get(node, []))
+        for node in reversed(order):
+            arriving = sum(
+                self._edge_payloads[child] for child in children.get(node, [])
+            )
+            own = 1 if node in self._sources else 0
+            payloads_in = arriving + own
+            can_aggregate = self._network.node(node).can_aggregate
+            if can_aggregate and payloads_in >= 2:
+                merges = payloads_in - 1
+                payloads_out = 1
+            else:
+                merges = 0
+                payloads_out = payloads_in
+            self._per_node[node] = NodeAggregation(
+                node=node,
+                payloads_in=payloads_in,
+                merges=merges,
+                payloads_out=payloads_out,
+            )
+            if node != self._tree.root:
+                self._edge_payloads[node] = payloads_out
+
+    @property
+    def tree(self) -> TreeResult:
+        return self._tree
+
+    def at(self, node: str) -> NodeAggregation:
+        """The aggregation record for one tree node."""
+        try:
+            return self._per_node[node]
+        except KeyError:
+            raise TaskError(f"node {node!r} is not in the upload tree") from None
+
+    def payloads_on_edge(self, child: str) -> int:
+        """Model replicas crossing the ``child -> parent`` tree edge."""
+        try:
+            return self._edge_payloads[child]
+        except KeyError:
+            raise TaskError(
+                f"node {child!r} has no parent edge in the upload tree"
+            ) from None
+
+    @property
+    def total_merges(self) -> int:
+        """Merges across all nodes; always ``len(sources) - 1`` when the
+        root aggregates (conservation of contributions)."""
+        return sum(record.merges for record in self._per_node.values())
+
+    @property
+    def aggregation_nodes(self) -> List[str]:
+        """Nodes that execute at least one merge, in name order."""
+        return sorted(
+            node for node, record in self._per_node.items() if record.merges > 0
+        )
+
+    @property
+    def delivered_payloads(self) -> int:
+        """Replicas reaching the root after its own merges (1 when the
+        root can aggregate; more when it cannot)."""
+        return self._per_node[self._tree.root].payloads_out

@@ -1,0 +1,113 @@
+"""The distributed AI task request object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import TaskError
+from .models import MLModelSpec
+
+
+@dataclass(frozen=True)
+class AITask:
+    """A distributed AI (federated-style) training task.
+
+    Attributes:
+        task_id: unique identifier; also the network reservation owner tag.
+        model: the ML model being trained (drives size and compute).
+        global_node: network node hosting the global model.
+        local_nodes: network nodes hosting the local models (ordered).
+        rounds: training rounds to run.
+        demand_gbps: rate requested per model-weight flow.
+        local_utility: optional per-local data-usefulness score in [0, 1],
+            consumed by client-selection strategies (challenge #1).
+        arrival_ms: simulated arrival time.
+    """
+
+    task_id: str
+    model: MLModelSpec
+    global_node: str
+    local_nodes: Tuple[str, ...]
+    rounds: int = 10
+    demand_gbps: float = 10.0
+    local_utility: Optional[Tuple[float, ...]] = None
+    arrival_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise TaskError("task_id must be non-empty")
+        if not self.local_nodes:
+            raise TaskError(f"task {self.task_id!r}: needs >= 1 local model")
+        if len(set(self.local_nodes)) != len(self.local_nodes):
+            raise TaskError(
+                f"task {self.task_id!r}: duplicate local nodes "
+                f"{sorted(self.local_nodes)}"
+            )
+        if self.global_node in self.local_nodes:
+            raise TaskError(
+                f"task {self.task_id!r}: global node {self.global_node!r} "
+                "cannot also host a local model"
+            )
+        if self.rounds < 1:
+            raise TaskError(f"task {self.task_id!r}: rounds must be >= 1")
+        if self.demand_gbps <= 0:
+            raise TaskError(
+                f"task {self.task_id!r}: demand must be > 0 Gbps"
+            )
+        if self.local_utility is not None:
+            if len(self.local_utility) != len(self.local_nodes):
+                raise TaskError(
+                    f"task {self.task_id!r}: utility length "
+                    f"{len(self.local_utility)} != locals {len(self.local_nodes)}"
+                )
+            if any(not 0.0 <= u <= 1.0 for u in self.local_utility):
+                raise TaskError(
+                    f"task {self.task_id!r}: utilities must lie in [0, 1]"
+                )
+        if self.arrival_ms < 0:
+            raise TaskError(f"task {self.task_id!r}: arrival must be >= 0 ms")
+
+    @property
+    def n_locals(self) -> int:
+        """Number of local models."""
+        return len(self.local_nodes)
+
+    @property
+    def size_mb(self) -> float:
+        """Model-weight payload moved per flow per procedure, in megabits."""
+        return self.model.size_mb
+
+    def utility_of(self, node: str) -> float:
+        """Data-usefulness of the local model at ``node`` (default 1.0)."""
+        if node not in self.local_nodes:
+            raise TaskError(
+                f"task {self.task_id!r}: {node!r} hosts no local model"
+            )
+        if self.local_utility is None:
+            return 1.0
+        return self.local_utility[self.local_nodes.index(node)]
+
+    def with_locals(self, local_nodes: Tuple[str, ...]) -> "AITask":
+        """A copy restricted to a subset of locals (client selection).
+
+        Utilities are carried over for the kept locals.
+        """
+        if not set(local_nodes) <= set(self.local_nodes):
+            extra = sorted(set(local_nodes) - set(self.local_nodes))
+            raise TaskError(
+                f"task {self.task_id!r}: {extra} are not locals of this task"
+            )
+        utility = None
+        if self.local_utility is not None:
+            utility = tuple(self.utility_of(n) for n in local_nodes)
+        return AITask(
+            task_id=self.task_id,
+            model=self.model,
+            global_node=self.global_node,
+            local_nodes=tuple(local_nodes),
+            rounds=self.rounds,
+            demand_gbps=self.demand_gbps,
+            local_utility=utility,
+            arrival_ms=self.arrival_ms,
+        )

@@ -1,0 +1,97 @@
+"""Catalogue of ML model specifications.
+
+The poster notes that "AI tasks can be implemented using different machine
+learning models that include different parameters" — the scheduler only
+needs two numbers per model: the **weight size** moved every round
+(parameters × bytes/parameter) and the **training work** per round
+(FLOPs), which with server GFLOPS gives the training time.  The catalogue
+lists representative vision and language models spanning four orders of
+magnitude in size, so workloads can mix small CNNs with transformer-class
+models whose "model size is increasing rapidly".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+from ..units import megabits_from_parameters
+
+
+@dataclass(frozen=True)
+class MLModelSpec:
+    """Static properties of a trainable model.
+
+    Attributes:
+        name: catalogue key.
+        parameters: trainable parameter count.
+        train_gflop_per_round: compute per local training round.
+        bytes_per_parameter: weight encoding (4 = fp32, 2 = fp16).
+    """
+
+    name: str
+    parameters: float
+    train_gflop_per_round: float
+    bytes_per_parameter: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.parameters <= 0:
+            raise ConfigurationError(
+                f"model {self.name!r}: parameters must be > 0"
+            )
+        if self.train_gflop_per_round < 0:
+            raise ConfigurationError(
+                f"model {self.name!r}: training work must be >= 0"
+            )
+        if self.bytes_per_parameter <= 0:
+            raise ConfigurationError(
+                f"model {self.name!r}: bytes_per_parameter must be > 0"
+            )
+
+    @property
+    def size_mb(self) -> float:
+        """Weights size in megabits (what broadcast/upload move)."""
+        return megabits_from_parameters(self.parameters, self.bytes_per_parameter)
+
+    def half_precision(self) -> "MLModelSpec":
+        """The same model exchanged in fp16 (halves communication)."""
+        return MLModelSpec(
+            name=f"{self.name}-fp16",
+            parameters=self.parameters,
+            train_gflop_per_round=self.train_gflop_per_round,
+            bytes_per_parameter=2.0,
+        )
+
+
+#: Representative models; sizes are the usual published parameter counts,
+#: per-round work assumes one pass over a modest local shard.
+MODEL_CATALOGUE: Dict[str, MLModelSpec] = {
+    spec.name: spec
+    for spec in (
+        MLModelSpec("lenet5", parameters=6.2e4, train_gflop_per_round=1.0),
+        MLModelSpec("mobilenet-v2", parameters=3.5e6, train_gflop_per_round=90.0),
+        MLModelSpec("resnet18", parameters=1.17e7, train_gflop_per_round=550.0),
+        MLModelSpec("resnet50", parameters=2.56e7, train_gflop_per_round=1_240.0),
+        MLModelSpec("vit-base", parameters=8.6e7, train_gflop_per_round=5_300.0),
+        MLModelSpec("bert-base", parameters=1.10e8, train_gflop_per_round=6_700.0),
+        MLModelSpec("bert-large", parameters=3.40e8, train_gflop_per_round=23_000.0),
+        MLModelSpec("gpt2-medium", parameters=3.55e8, train_gflop_per_round=21_000.0),
+        MLModelSpec("gpt2-xl", parameters=1.56e9, train_gflop_per_round=95_000.0),
+    )
+}
+
+
+def get_model(name: str) -> MLModelSpec:
+    """Look up a catalogue model by name.
+
+    Raises:
+        ConfigurationError: for unknown names, listing what exists.
+    """
+    try:
+        return MODEL_CATALOGUE[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CATALOGUE))
+        raise ConfigurationError(
+            f"unknown model {name!r}; catalogue has: {known}"
+        ) from None

@@ -1,0 +1,87 @@
+"""Client (local-model) selection strategies — open challenge #1.
+
+"We should strategically select only those local models containing useful
+data to improve model learning."  Each strategy takes a task whose locals
+carry utility scores and returns a task restricted to the chosen subset.
+The ``abl-select`` benchmark quantifies the bandwidth/latency saved (and
+the aggregate utility retained) for each strategy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from .aitask import AITask
+
+
+def _validate_fraction(fraction: float) -> None:
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(
+            f"selection fraction must be in (0, 1], got {fraction}"
+        )
+
+
+def _target_count(task: AITask, fraction: float) -> int:
+    return max(1, round(fraction * task.n_locals))
+
+
+def select_all(task: AITask) -> AITask:
+    """The no-selection baseline: keep every local model."""
+    return task
+
+
+def select_top_utility(task: AITask, fraction: float = 0.5) -> AITask:
+    """Keep the highest-utility ``fraction`` of locals (at least one).
+
+    Deterministic; ties break on node name for reproducibility.
+    """
+    _validate_fraction(fraction)
+    count = _target_count(task, fraction)
+    ranked = sorted(
+        task.local_nodes, key=lambda node: (-task.utility_of(node), node)
+    )
+    keep = tuple(node for node in task.local_nodes if node in set(ranked[:count]))
+    return task.with_locals(keep)
+
+
+def select_random(
+    task: AITask, fraction: float = 0.5, rng: Optional[random.Random] = None
+) -> AITask:
+    """Keep a uniform random subset of locals (FedAvg-style sampling)."""
+    _validate_fraction(fraction)
+    if rng is None:
+        rng = random.Random(0)
+    count = _target_count(task, fraction)
+    chosen = set(rng.sample(list(task.local_nodes), count))
+    keep = tuple(node for node in task.local_nodes if node in chosen)
+    return task.with_locals(keep)
+
+
+def utility_proportional(
+    task: AITask, fraction: float = 0.5, rng: Optional[random.Random] = None
+) -> AITask:
+    """Sample locals without replacement with probability ∝ utility.
+
+    Locals with zero utility are only picked once all positive-utility
+    locals are exhausted.
+    """
+    _validate_fraction(fraction)
+    if rng is None:
+        rng = random.Random(0)
+    count = _target_count(task, fraction)
+    remaining: List[str] = list(task.local_nodes)
+    chosen: List[str] = []
+    while remaining and len(chosen) < count:
+        weights = [max(task.utility_of(node), 1e-9) for node in remaining]
+        pick = rng.choices(remaining, weights=weights, k=1)[0]
+        remaining.remove(pick)
+        chosen.append(pick)
+    keep = tuple(node for node in task.local_nodes if node in set(chosen))
+    return task.with_locals(keep)
+
+
+def selected_utility(task: AITask) -> float:
+    """Aggregate utility retained by the task's current local set."""
+    return sum(task.utility_of(node) for node in task.local_nodes)

@@ -1,0 +1,16 @@
+"""Background traffic: the testbed's "live traffic injected by a traffic
+generator".
+
+Two modes:
+
+* **static** (:meth:`TrafficGenerator.inject_static`) — deterministically
+  occupy a target fraction of capacity with persistent flows; the mode the
+  figure experiments use so runs are exactly reproducible;
+* **dynamic** (:meth:`TrafficGenerator.start`) — a Poisson flow
+  arrival/departure process on the simulation engine, for the
+  re-scheduling experiments where conditions must *change* over time.
+"""
+
+from .generator import BackgroundFlow, TrafficGenerator
+
+__all__ = ["BackgroundFlow", "TrafficGenerator"]

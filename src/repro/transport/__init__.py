@@ -1,0 +1,23 @@
+"""Transport protocols: packetisation, TCP, RDMA, path transfer times.
+
+Open challenge #2 of the paper: TCP/IP burns CPU and header bytes, hurting
+communication/training efficiency; RDMA communicates buffer-to-buffer but
+degrades over long distances.  This package models both protocols at the
+fidelity scheduling needs — *effective throughput* and *endpoint CPU time*
+as functions of rate, RTT, loss, and message size — and provides
+:class:`~repro.transport.channel.Channel` to compute end-to-end transfer
+times over a routed path.
+"""
+
+from .channel import Channel, TransferEstimate
+from .packet import Packetiser
+from .protocols import RdmaTransport, TcpTransport, Transport
+
+__all__ = [
+    "Channel",
+    "TransferEstimate",
+    "Packetiser",
+    "Transport",
+    "TcpTransport",
+    "RdmaTransport",
+]

@@ -1,0 +1,98 @@
+"""End-to-end transfer estimation over a routed path.
+
+:class:`Channel` marries a routed path (node sequence over the live
+network) with a :class:`~repro.transport.protocols.Transport` model and an
+allocated rate, and answers the single question schedulers care about:
+*how long does moving this payload take, and how much endpoint CPU does it
+burn?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..network.graph import Network
+from ..network.paths import path_latency_ms
+from .protocols import TcpTransport, Transport
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Outcome of a path-level transfer computation.
+
+    Attributes:
+        total_ms: propagation + protocol transfer time.
+        propagation_ms: one-way fibre latency along the path.
+        transfer_ms: serialisation/protocol time (incl. handshakes, loss).
+        endpoint_cpu_ms: CPU consumed at the two endpoints.
+        effective_rate_gbps: goodput achieved.
+    """
+
+    total_ms: float
+    propagation_ms: float
+    transfer_ms: float
+    endpoint_cpu_ms: float
+    effective_rate_gbps: float
+
+
+class Channel:
+    """A unidirectional transfer lane over a routed path.
+
+    Args:
+        network: topology providing per-hop latencies.
+        path: node sequence from sender to receiver.
+        rate_gbps: rate allocated to this transfer on every hop.
+        transport: protocol model (defaults to kernel TCP).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        path: Sequence[str],
+        rate_gbps: float,
+        transport: "Transport | None" = None,
+    ) -> None:
+        if len(path) < 1:
+            raise ConfigurationError("path must contain at least one node")
+        if rate_gbps <= 0:
+            raise ConfigurationError(f"rate must be > 0 Gbps, got {rate_gbps}")
+        self._network = network
+        self._path: Tuple[str, ...] = tuple(path)
+        self._rate = rate_gbps
+        self._transport = transport if transport is not None else TcpTransport()
+
+    @property
+    def path(self) -> Tuple[str, ...]:
+        return self._path
+
+    @property
+    def rate_gbps(self) -> float:
+        return self._rate
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
+
+    def propagation_ms(self) -> float:
+        """One-way fibre latency along the path."""
+        return path_latency_ms(self._network, self._path)
+
+    def rtt_ms(self) -> float:
+        """Round-trip propagation latency."""
+        return 2.0 * self.propagation_ms()
+
+    def estimate(self, size_mb: float) -> TransferEstimate:
+        """Estimate moving ``size_mb`` megabits of payload over the path."""
+        propagation = self.propagation_ms()
+        rtt = 2.0 * propagation
+        transfer = self._transport.transfer_ms(size_mb, self._rate, rtt)
+        cpu = self._transport.endpoint_cpu_ms(size_mb)
+        return TransferEstimate(
+            total_ms=propagation + transfer,
+            propagation_ms=propagation,
+            transfer_ms=transfer,
+            endpoint_cpu_ms=cpu,
+            effective_rate_gbps=self._transport.effective_rate_gbps(self._rate, rtt),
+        )

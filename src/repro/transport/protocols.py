@@ -1,0 +1,189 @@
+"""Protocol throughput/CPU models: TCP/IP versus RDMA.
+
+The models capture exactly the effects the paper's challenge #2 names:
+
+* **TCP** — per-packet header bytes shrink goodput; per-packet kernel
+  processing consumes endpoint CPU (stealing it from training); loss
+  triggers retransmission of the lost fraction; throughput is additionally
+  capped by the congestion window over the RTT.
+* **RDMA** — negligible headers and near-zero CPU (buffer-to-buffer), but
+  go-back-N loss recovery makes every loss retransmit a full
+  bandwidth-delay product, so performance *degrades with distance* when
+  loss is non-zero, and the receive-buffer cap also binds at long RTTs.
+  Both long-distance effects are the ones [Ichikawa+ 2021] measures.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, TransportError
+from ..units import BYTES_PER_MEGABIT
+from .packet import Packetiser
+
+
+class Transport(abc.ABC):
+    """Common interface of the protocol models."""
+
+    #: human-readable protocol name for reports.
+    name: str = "transport"
+
+    @abc.abstractmethod
+    def effective_rate_gbps(self, raw_rate_gbps: float, rtt_ms: float) -> float:
+        """Achievable goodput given the allocated rate and path RTT."""
+
+    @abc.abstractmethod
+    def transfer_ms(self, size_mb: float, raw_rate_gbps: float, rtt_ms: float) -> float:
+        """Time to deliver ``size_mb`` of payload (excl. propagation)."""
+
+    @abc.abstractmethod
+    def endpoint_cpu_ms(self, size_mb: float) -> float:
+        """Endpoint CPU time consumed to move ``size_mb`` of payload."""
+
+    @staticmethod
+    def _validate(size_mb: float, raw_rate_gbps: float, rtt_ms: float) -> None:
+        if size_mb < 0:
+            raise TransportError(f"size must be >= 0 Mb, got {size_mb}")
+        if raw_rate_gbps <= 0:
+            raise TransportError(f"rate must be > 0 Gbps, got {raw_rate_gbps}")
+        if rtt_ms < 0:
+            raise TransportError(f"rtt must be >= 0 ms, got {rtt_ms}")
+
+
+@dataclass
+class TcpTransport(Transport):
+    """Kernel TCP/IP over Ethernet.
+
+    Args:
+        mtu_bytes / header_bytes: packetisation parameters.
+        loss_rate: independent per-packet loss probability.
+        window_mb: congestion/receive window in megabits; caps goodput at
+            ``window / RTT``.
+        cpu_us_per_packet: endpoint kernel time per packet (both ends
+            combined); the challenge-#2 "TCP consumes a lot of CPU".
+    """
+
+    mtu_bytes: int = 1500
+    header_bytes: int = 40
+    loss_rate: float = 1e-4
+    window_mb: float = 64.0
+    cpu_us_per_packet: float = 2.0
+    name: str = "tcp"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if self.window_mb <= 0:
+            raise ConfigurationError(
+                f"window must be > 0 Mb, got {self.window_mb}"
+            )
+        if self.cpu_us_per_packet < 0:
+            raise ConfigurationError(
+                f"cpu_us_per_packet must be >= 0, got {self.cpu_us_per_packet}"
+            )
+        self._packetiser = Packetiser(self.mtu_bytes, self.header_bytes)
+
+    @property
+    def packetiser(self) -> Packetiser:
+        return self._packetiser
+
+    def effective_rate_gbps(self, raw_rate_gbps: float, rtt_ms: float) -> float:
+        self._validate(0.0, raw_rate_gbps, rtt_ms)
+        goodput = raw_rate_gbps * self._packetiser.goodput_ratio
+        # Selective-repeat style recovery: only lost packets resend.
+        goodput *= 1.0 - self.loss_rate
+        if rtt_ms > 0:
+            window_limited = self.window_mb / rtt_ms  # Mb / ms == Gbps
+            goodput = min(goodput, window_limited)
+        return goodput
+
+    def transfer_ms(self, size_mb: float, raw_rate_gbps: float, rtt_ms: float) -> float:
+        self._validate(size_mb, raw_rate_gbps, rtt_ms)
+        if size_mb == 0:
+            return 0.0
+        rate = self.effective_rate_gbps(raw_rate_gbps, rtt_ms)
+        handshake_ms = 1.5 * rtt_ms  # SYN, SYN-ACK, ACK amortised as 1.5 RTT
+        return handshake_ms + size_mb / rate
+
+    def endpoint_cpu_ms(self, size_mb: float) -> float:
+        packets = self._packetiser.packets_for(size_mb)
+        expected = packets * (1.0 + self.loss_rate)
+        return expected * self.cpu_us_per_packet / 1000.0
+
+
+@dataclass
+class RdmaTransport(Transport):
+    """RDMA (RoCEv2-style) buffer-to-buffer transfer.
+
+    Args:
+        header_bytes: framing per 4096-byte message chunk.
+        loss_rate: per-packet loss probability; PFC-protected fabrics are
+            near zero, long-haul links are not.
+        buffer_mb: receive-buffer credit in megabits; goodput is capped at
+            ``buffer / RTT`` once the bandwidth-delay product exceeds it —
+            the long-distance degradation of challenge #2.
+        cpu_us_per_megabit: endpoint CPU per megabit (orders of magnitude
+            below TCP's per-packet cost).
+        go_back_n: when True every loss retransmits the in-flight window
+            (hardware go-back-N), multiplying the penalty by the BDP.
+    """
+
+    header_bytes: int = 58
+    chunk_bytes: int = 4096
+    loss_rate: float = 1e-6
+    buffer_mb: float = 16.0
+    cpu_us_per_megabit: float = 0.05
+    go_back_n: bool = True
+    name: str = "rdma"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if self.buffer_mb <= 0:
+            raise ConfigurationError(
+                f"buffer must be > 0 Mb, got {self.buffer_mb}"
+            )
+        if self.cpu_us_per_megabit < 0:
+            raise ConfigurationError(
+                f"cpu_us_per_megabit must be >= 0, got {self.cpu_us_per_megabit}"
+            )
+        self._packetiser = Packetiser(self.chunk_bytes, self.header_bytes)
+
+    @property
+    def packetiser(self) -> Packetiser:
+        return self._packetiser
+
+    def effective_rate_gbps(self, raw_rate_gbps: float, rtt_ms: float) -> float:
+        self._validate(0.0, raw_rate_gbps, rtt_ms)
+        goodput = raw_rate_gbps * self._packetiser.goodput_ratio
+        if self.loss_rate > 0:
+            if self.go_back_n and rtt_ms > 0:
+                # Each lost packet discards the whole in-flight window:
+                # the wasted work per loss scales with packets-in-flight.
+                bdp_mb = min(self.buffer_mb, raw_rate_gbps * rtt_ms)
+                packets_in_flight = max(
+                    1.0, bdp_mb / (self._packetiser.payload_bytes / BYTES_PER_MEGABIT)
+                )
+                waste = self.loss_rate * packets_in_flight
+                goodput /= 1.0 + waste
+            else:
+                goodput *= 1.0 - self.loss_rate
+        if rtt_ms > 0:
+            goodput = min(goodput, self.buffer_mb / rtt_ms)
+        return goodput
+
+    def transfer_ms(self, size_mb: float, raw_rate_gbps: float, rtt_ms: float) -> float:
+        self._validate(size_mb, raw_rate_gbps, rtt_ms)
+        if size_mb == 0:
+            return 0.0
+        rate = self.effective_rate_gbps(raw_rate_gbps, rtt_ms)
+        setup_ms = 0.5 * rtt_ms  # queue-pair already connected; one credit RTT
+        return setup_ms + size_mb / rate
+
+    def endpoint_cpu_ms(self, size_mb: float) -> float:
+        return size_mb * self.cpu_us_per_megabit / 1000.0

@@ -1,0 +1,43 @@
+"""Tests for the command-line entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_registered(self):
+        for name in ("fig1", "fig3a", "fig3b", "abl-rdma", "abl-resched"):
+            assert name in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig1_prints_table(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed-spff" in out
+        assert "flexible-mst" in out
+
+    def test_save_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "fig1.json"
+        assert main(["fig1", "--save", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["name"] == "fig1"
+
+    def test_abl_rdma_runs(self, capsys):
+        assert main(["abl-rdma"]) == 0
+        out = capsys.readouterr().out
+        assert "rdma" in out
+        assert "tcp" in out

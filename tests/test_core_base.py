@@ -1,0 +1,68 @@
+"""Tests for the TaskSchedule result object itself."""
+
+import pytest
+
+from repro.core.base import TaskSchedule
+from repro.core.fixed import FixedScheduler
+from repro.core.flexible import FlexibleScheduler
+from repro.errors import SchedulingError
+
+from .conftest import make_mesh_task
+
+
+class TestPathAccessors:
+    def test_fixed_paths_round_trip(self, mesh_net):
+        task = make_mesh_task(mesh_net, 4)
+        schedule = FixedScheduler().schedule(task, mesh_net)
+        for local in task.local_nodes:
+            assert schedule.broadcast_path_of(local) == schedule.broadcast_routes[local]
+            assert schedule.upload_path_of(local) == schedule.upload_routes[local]
+
+    def test_tree_paths_derive_from_trees(self, mesh_net):
+        task = make_mesh_task(mesh_net, 4)
+        schedule = FlexibleScheduler().schedule(task, mesh_net)
+        for local in task.local_nodes:
+            down = schedule.broadcast_path_of(local)
+            up = schedule.upload_path_of(local)
+            assert down[0] == task.global_node and down[-1] == local
+            assert up[0] == local and up[-1] == task.global_node
+
+    def test_unknown_local_raises(self, mesh_net):
+        task = make_mesh_task(mesh_net, 3)
+        schedule = FixedScheduler().schedule(task, mesh_net)
+        with pytest.raises(SchedulingError):
+            schedule.broadcast_path_of("ghost")
+        with pytest.raises(SchedulingError):
+            schedule.upload_path_of("ghost")
+
+
+class TestAggregates:
+    def test_consumed_bandwidth_sums_both_procedures(self, mesh_net):
+        task = make_mesh_task(mesh_net, 4)
+        schedule = FlexibleScheduler().schedule(task, mesh_net)
+        assert schedule.consumed_bandwidth_gbps == pytest.approx(
+            sum(schedule.broadcast_edge_rates.values())
+            + sum(schedule.upload_edge_rates.values())
+        )
+
+    def test_occupied_edges_merges_directions(self, mesh_net):
+        task = make_mesh_task(mesh_net, 4)
+        schedule = FlexibleScheduler().schedule(task, mesh_net)
+        merged = schedule.occupied_edges()
+        assert sum(merged.values()) == pytest.approx(
+            schedule.consumed_bandwidth_gbps
+        )
+        for edge in schedule.broadcast_edge_rates:
+            assert edge in merged
+
+    def test_owner_is_task_id(self, mesh_net):
+        task = make_mesh_task(mesh_net, 3)
+        schedule = FixedScheduler().schedule(task, mesh_net)
+        assert schedule.owner == task.task_id
+
+    def test_is_tree_based_flag(self, mesh_net):
+        task = make_mesh_task(mesh_net, 3)
+        fixed = FixedScheduler().schedule(task, mesh_net.copy_topology())
+        flexible = FlexibleScheduler().schedule(task, mesh_net.copy_topology())
+        assert not fixed.is_tree_based
+        assert flexible.is_tree_based

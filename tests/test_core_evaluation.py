@@ -1,0 +1,142 @@
+"""Tests for schedule evaluation (latency/bandwidth/CPU accounting)."""
+
+import pytest
+
+from repro.core.evaluation import EvaluationConfig, ScheduleEvaluator
+from repro.core.fixed import FixedScheduler
+from repro.core.flexible import FlexibleScheduler
+from repro.tasks.aggregation import AggregationModel
+from repro.tasks.aitask import AITask
+from repro.tasks.models import MLModelSpec, get_model
+from repro.transport.protocols import RdmaTransport, TcpTransport
+
+from .conftest import make_mesh_task
+
+
+@pytest.fixture
+def evaluated_pair(triangle_net, small_task):
+    """(fixed report, flexible report) for the same task on fresh nets."""
+    fixed_net = triangle_net.copy_topology()
+    flex_net = triangle_net.copy_topology()
+    fixed = FixedScheduler().schedule(small_task, fixed_net)
+    flexible = FlexibleScheduler().schedule(small_task, flex_net)
+    config = EvaluationConfig()
+    return (
+        ScheduleEvaluator(fixed_net, config).report(fixed),
+        ScheduleEvaluator(flex_net, config).report(flexible),
+    )
+
+
+class TestRoundBreakdown:
+    def test_total_is_broadcast_plus_upload_chain(self, triangle_net, small_task):
+        schedule = FixedScheduler().schedule(small_task, triangle_net)
+        evaluator = ScheduleEvaluator(triangle_net)
+        latency = evaluator.round_latency(schedule)
+        assert latency.total_ms == pytest.approx(
+            latency.broadcast_ms + latency.training_ms + latency.upload_ms
+        )
+
+    def test_training_time_from_model_and_speed(self, triangle_net, small_task):
+        config = EvaluationConfig(training_gflops=10_000.0)
+        schedule = FixedScheduler().schedule(small_task, triangle_net)
+        latency = ScheduleEvaluator(triangle_net, config).round_latency(schedule)
+        expected = 1000.0 * small_task.model.train_gflop_per_round / 10_000.0
+        assert latency.training_ms == pytest.approx(expected)
+
+    def test_speed_fn_overrides_config(self, triangle_net, small_task):
+        config = EvaluationConfig(training_gflops=10_000.0)
+        evaluator = ScheduleEvaluator(
+            triangle_net, config, speed_fn=lambda node: 1_000.0
+        )
+        schedule = FixedScheduler().schedule(small_task, triangle_net)
+        latency = evaluator.round_latency(schedule)
+        expected = 1000.0 * small_task.model.train_gflop_per_round / 1_000.0
+        assert latency.training_ms == pytest.approx(expected)
+
+    def test_control_overhead_added_once_per_round(self, triangle_net, small_task):
+        schedule = FixedScheduler().schedule(small_task, triangle_net)
+        base = ScheduleEvaluator(
+            triangle_net, EvaluationConfig(control_overhead_ms=0.0)
+        ).round_latency(schedule)
+        with_control = ScheduleEvaluator(
+            triangle_net, EvaluationConfig(control_overhead_ms=5.0)
+        ).round_latency(schedule)
+        assert with_control.total_ms == pytest.approx(base.total_ms + 5.0)
+
+    def test_total_latency_scales_with_rounds(self, triangle_net, small_task):
+        schedule = FixedScheduler().schedule(small_task, triangle_net)
+        evaluator = ScheduleEvaluator(triangle_net)
+        report = evaluator.report(schedule)
+        assert report.total_latency_ms == pytest.approx(
+            small_task.rounds * report.round_latency.total_ms
+        )
+
+
+class TestFixedVsFlexible:
+    def test_flexible_saves_bandwidth(self, evaluated_pair):
+        fixed, flexible = evaluated_pair
+        assert flexible.consumed_bandwidth_gbps < fixed.consumed_bandwidth_gbps
+
+    def test_fixed_aggregates_only_at_root(self, evaluated_pair):
+        fixed, _ = evaluated_pair
+        assert fixed.aggregation_nodes == ("S-G",)
+
+    def test_flexible_aggregates_in_network(self, evaluated_pair):
+        _, flexible = evaluated_pair
+        assert any(node != "S-G" for node in flexible.aggregation_nodes)
+
+    def test_round_latencies_comparable_uncontended(self, evaluated_pair):
+        # Without contention the two schedulers should be within a few
+        # percent of each other (flexible pays small relay/merge costs).
+        fixed, flexible = evaluated_pair
+        ratio = flexible.round_latency.total_ms / fixed.round_latency.total_ms
+        assert 0.8 < ratio < 1.2
+
+    def test_flexible_wins_under_contention(self, mesh_net):
+        # Saturate the global node's access capacity relative to demand:
+        # many locals through one access link hurt the fixed scheduler.
+        task = make_mesh_task(mesh_net, 10, demand_gbps=20.0)
+        fixed_net = mesh_net.copy_topology()
+        flex_net = mesh_net.copy_topology()
+        fixed = FixedScheduler().schedule(task, fixed_net)
+        flexible = FlexibleScheduler().schedule(task, flex_net)
+        fixed_ms = ScheduleEvaluator(fixed_net).round_latency(fixed).total_ms
+        flex_ms = ScheduleEvaluator(flex_net).round_latency(flexible).total_ms
+        assert flex_ms < fixed_ms
+
+
+class TestTransportSensitivity:
+    def test_rdma_reduces_cpu(self, triangle_net, small_task):
+        schedule = FixedScheduler().schedule(small_task, triangle_net)
+        tcp_report = ScheduleEvaluator(
+            triangle_net, EvaluationConfig(transport=TcpTransport())
+        ).report(schedule)
+        rdma_report = ScheduleEvaluator(
+            triangle_net, EvaluationConfig(transport=RdmaTransport())
+        ).report(schedule)
+        assert rdma_report.endpoint_cpu_ms < tcp_report.endpoint_cpu_ms / 10
+
+
+class TestAggregationCost:
+    def test_fixed_pays_k_minus_1_merges_at_root(self, triangle_net, small_task):
+        cheap = AggregationModel(merge_ms_per_mb=0.0, fixed_overhead_ms=0.0)
+        dear = AggregationModel(merge_ms_per_mb=0.0, fixed_overhead_ms=10.0)
+        schedule = FixedScheduler().schedule(small_task, triangle_net)
+        base = ScheduleEvaluator(
+            triangle_net, EvaluationConfig(aggregation=cheap)
+        ).round_latency(schedule)
+        loaded = ScheduleEvaluator(
+            triangle_net, EvaluationConfig(aggregation=dear)
+        ).round_latency(schedule)
+        # 3 locals -> 2 serialised merges at the root.
+        assert loaded.total_ms == pytest.approx(base.total_ms + 20.0)
+
+
+class TestReportShape:
+    def test_as_row_round_trips(self, evaluated_pair):
+        fixed, _ = evaluated_pair
+        row = fixed.as_row()
+        assert row["task_id"] == "t-small"
+        assert row["scheduler"] == "fixed-spff"
+        assert row["n_locals"] == 3
+        assert row["bandwidth_gbps"] > 0

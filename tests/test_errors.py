@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.TopologyError,
+            errors.NoPathError,
+            errors.CapacityError,
+            errors.WavelengthError,
+            errors.PlacementError,
+            errors.SchedulingError,
+            errors.TaskError,
+            errors.TransportError,
+            errors.OrchestrationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_no_path_is_topology_error(self):
+        assert issubclass(errors.NoPathError, errors.TopologyError)
+
+    def test_wavelength_is_capacity_error(self):
+        assert issubclass(errors.WavelengthError, errors.CapacityError)
+
+
+class TestNoPathError:
+    def test_carries_endpoints(self):
+        err = errors.NoPathError("a", "b")
+        assert err.source == "a"
+        assert err.destination == "b"
+
+    def test_default_message_names_endpoints(self):
+        err = errors.NoPathError("src-node", "dst-node")
+        assert "src-node" in str(err)
+        assert "dst-node" in str(err)
+
+    def test_custom_message_wins(self):
+        err = errors.NoPathError("a", "b", "custom explanation")
+        assert str(err) == "custom explanation"

@@ -1,0 +1,124 @@
+"""Tests for the ablation harnesses: each open challenge's expected shape."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_auxgraph_ablation,
+    run_rescheduling_ablation,
+    run_selection_ablation,
+    run_spineleaf_ablation,
+    run_transport_ablation,
+)
+
+
+class TestReschedulingAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_rescheduling_ablation(
+            interruption_values_ms=(0.01, 1e9), n_tasks=6, seed=4
+        )
+
+    def test_cheap_interruption_reschedules_more(self, result):
+        cheap, expensive = result.rows
+        assert cheap["rescheduled"] >= expensive["rescheduled"]
+        assert expensive["rescheduled"] == 0
+
+    def test_rescheduling_saves_bandwidth(self, result):
+        cheap = result.rows[0]
+        if cheap["rescheduled"] > 0:
+            assert cheap["bandwidth_saved_gbps"] > 0
+
+    def test_all_tasks_tracked(self, result):
+        for row in result.rows:
+            assert 0 <= row["rescheduled"] <= row["running_tasks"]
+
+
+class TestSelectionAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_selection_ablation(
+            fractions=(0.5, 1.0), n_tasks=6, n_locals=8, seed=4
+        )
+
+    def test_full_fraction_keeps_all_utility(self, result):
+        for row in result.rows:
+            if row["fraction"] == 1.0:
+                assert row["utility_kept"] == pytest.approx(1.0)
+
+    def test_selection_saves_bandwidth(self, result):
+        by_strategy = {}
+        for row in result.rows:
+            by_strategy.setdefault(row["strategy"], {})[row["fraction"]] = row
+        for strategy, rows in by_strategy.items():
+            assert rows[0.5]["bandwidth_gbps"] < rows[1.0]["bandwidth_gbps"]
+
+    def test_top_utility_beats_random_on_utility(self, result):
+        halves = {
+            row["strategy"]: row
+            for row in result.rows
+            if row["fraction"] == 0.5
+        }
+        assert halves["top-utility"]["utility_kept"] >= halves["random"]["utility_kept"]
+
+
+class TestTransportAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_transport_ablation(distances_km=(1.0, 2000.0))
+
+    def _row(self, result, protocol, distance):
+        for row in result.rows:
+            if row["protocol"] == protocol and row["distance_km"] == distance:
+                return row
+        raise AssertionError("row missing")
+
+    def test_rdma_wins_at_datacenter_scale(self, result):
+        assert (
+            self._row(result, "rdma", 1.0)["transfer_ms"]
+            < self._row(result, "tcp", 1.0)["transfer_ms"]
+        )
+
+    def test_rdma_cpu_negligible(self, result):
+        assert (
+            self._row(result, "rdma", 1.0)["endpoint_cpu_ms"]
+            < self._row(result, "tcp", 1.0)["endpoint_cpu_ms"] / 100
+        )
+
+    def test_rdma_degrades_long_haul(self, result):
+        rdma_short = self._row(result, "rdma", 1.0)["effective_gbps"]
+        rdma_long = self._row(result, "rdma", 2000.0)["effective_gbps"]
+        assert rdma_long < rdma_short
+
+
+class TestSpineLeafAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_spineleaf_ablation(n_tasks=8, n_locals=4, seed=4)
+
+    def test_both_fabrics_serve(self, result):
+        for row in result.rows:
+            assert row["served"] > 0
+
+    def test_spine_leaf_lower_broadcast_latency(self, result):
+        by_fabric = {row["fabric"]: row for row in result.rows}
+        assert (
+            by_fabric["spine-leaf"]["broadcast_ms"]
+            < by_fabric["metro-mesh"]["broadcast_ms"]
+        )
+
+
+class TestAuxGraphAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_auxgraph_ablation(
+            alpha_values=(0.0, 8.0), n_tasks=8, n_locals=6, seed=4
+        )
+
+    def test_bandwidth_weight_shrinks_trees(self, result):
+        latency_only, bandwidth_heavy = result.rows
+        assert (
+            bandwidth_heavy["bandwidth_gbps"] <= latency_only["bandwidth_gbps"]
+        )
+
+    def test_rows_cover_sweep(self, result):
+        assert [row["alpha_bandwidth"] for row in result.rows] == [0.0, 8.0]

@@ -1,0 +1,42 @@
+"""Tests for nodes and node kinds."""
+
+from repro.network.node import Node, NodeKind
+
+
+class TestNodeKind:
+    def test_only_servers_host_models(self):
+        assert NodeKind.SERVER.can_host_models
+        for kind in (NodeKind.ROADM, NodeKind.ROUTER, NodeKind.SPINE, NodeKind.LEAF):
+            assert not kind.can_host_models
+
+    def test_aggregation_defaults(self):
+        assert NodeKind.SERVER.can_aggregate
+        assert NodeKind.ROUTER.can_aggregate
+        assert NodeKind.LEAF.can_aggregate
+        assert not NodeKind.ROADM.can_aggregate
+        assert not NodeKind.SPINE.can_aggregate
+
+
+class TestNode:
+    def test_defaults_to_router(self):
+        node = Node("n1")
+        assert node.kind is NodeKind.ROUTER
+        assert node.can_aggregate
+
+    def test_aggregation_override_disables(self):
+        node = Node("n1", NodeKind.ROUTER, aggregation_capable=False)
+        assert not node.can_aggregate
+
+    def test_aggregation_override_enables(self):
+        node = Node("n1", NodeKind.ROADM, aggregation_capable=True)
+        assert node.can_aggregate
+
+    def test_none_override_defers_to_kind(self):
+        assert Node("n1", NodeKind.ROADM, aggregation_capable=None).can_aggregate is False
+
+    def test_attrs_stored(self):
+        node = Node("n1", attrs={"x": 1.5})
+        assert node.attrs["x"] == 1.5
+
+    def test_hashable_by_name(self):
+        assert hash(Node("n1")) == hash(Node("n1", NodeKind.SERVER))

@@ -1,0 +1,50 @@
+"""Tests for network-state snapshots."""
+
+import pytest
+
+from repro.network.state import NetworkState
+
+
+class TestCapture:
+    def test_covers_both_directions(self, square_net):
+        state = NetworkState.capture(square_net)
+        assert len(state.links) == 2 * square_net.link_count
+
+    def test_reflects_reservations(self, square_net):
+        square_net.reserve_edge("A", "B", 30.0, "task")
+        state = NetworkState.capture(square_net, time_ms=5.0)
+        record = state.as_dict()[("A", "B")]
+        assert record.used_gbps == pytest.approx(30.0)
+        assert record.residual_gbps == pytest.approx(70.0)
+        assert record.utilisation == pytest.approx(0.3)
+        assert state.time_ms == 5.0
+
+    def test_snapshot_is_immutable_view(self, square_net):
+        state = NetworkState.capture(square_net)
+        square_net.reserve_edge("A", "B", 30.0, "task")
+        assert state.as_dict()[("A", "B")].used_gbps == 0.0
+
+
+class TestAggregates:
+    def test_total_used(self, square_net):
+        square_net.reserve_edge("A", "B", 10.0, "x")
+        square_net.reserve_edge("B", "A", 20.0, "y")
+        state = NetworkState.capture(square_net)
+        assert state.total_used_gbps == pytest.approx(30.0)
+
+    def test_max_utilisation(self, square_net):
+        square_net.reserve_edge("A", "B", 80.0, "x")
+        square_net.reserve_edge("B", "C", 20.0, "y")
+        state = NetworkState.capture(square_net)
+        assert state.max_utilisation == pytest.approx(0.8)
+
+    def test_max_utilisation_empty(self):
+        from repro.network.graph import Network
+
+        assert NetworkState.capture(Network()).max_utilisation == 0.0
+
+    def test_hot_links(self, square_net):
+        square_net.reserve_edge("A", "B", 90.0, "x")
+        state = NetworkState.capture(square_net)
+        hot = state.hot_links(threshold=0.8)
+        assert [(r.src, r.dst) for r in hot] == [("A", "B")]

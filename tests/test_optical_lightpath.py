@@ -1,0 +1,68 @@
+"""Tests for lightpath grooming capacity."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.optical.lightpath import Lightpath
+
+
+def make_lp(capacity=100.0):
+    return Lightpath(path=("a", "b", "c"), channel=0, capacity_gbps=capacity)
+
+
+class TestLightpath:
+    def test_endpoints_and_hops(self):
+        lp = make_lp()
+        assert lp.source == "a"
+        assert lp.destination == "c"
+        assert lp.hops == 2
+
+    def test_ids_are_unique(self):
+        assert make_lp().lightpath_id != make_lp().lightpath_id
+
+    def test_too_short_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lightpath(path=("a",), channel=0, capacity_gbps=100.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lightpath(path=("a", "b"), channel=0, capacity_gbps=0.0)
+
+
+class TestGrooming:
+    def test_groom_reduces_residual(self):
+        lp = make_lp()
+        lp.groom("d1", 30.0)
+        assert lp.used_gbps == pytest.approx(30.0)
+        assert lp.residual_gbps == pytest.approx(70.0)
+
+    def test_groom_accumulates_same_demand(self):
+        lp = make_lp()
+        lp.groom("d1", 30.0)
+        lp.groom("d1", 10.0)
+        assert lp.demands["d1"] == pytest.approx(40.0)
+
+    def test_overflow_rejected(self):
+        lp = make_lp(capacity=50.0)
+        lp.groom("d1", 40.0)
+        with pytest.raises(CapacityError):
+            lp.groom("d2", 20.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_lp().groom("d1", 0.0)
+
+    def test_remove_returns_rate(self):
+        lp = make_lp()
+        lp.groom("d1", 25.0)
+        assert lp.remove_demand("d1") == pytest.approx(25.0)
+        assert lp.is_idle
+
+    def test_remove_absent_demand_is_zero(self):
+        assert make_lp().remove_demand("ghost") == 0.0
+
+    def test_is_idle_tracks_demands(self):
+        lp = make_lp()
+        assert lp.is_idle
+        lp.groom("d1", 1.0)
+        assert not lp.is_idle

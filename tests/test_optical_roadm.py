@@ -1,0 +1,48 @@
+"""Tests for ROADM add/drop port accounting."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.optical.roadm import RoadmPorts
+
+
+class TestRoadmPorts:
+    def test_free_counts_down(self):
+        ports = RoadmPorts(ports_per_site=4)
+        ports.attach("site", 1)
+        ports.attach("site", 2)
+        assert ports.used("site") == 2
+        assert ports.free("site") == 2
+
+    def test_exhaustion_raises(self):
+        ports = RoadmPorts(ports_per_site=1)
+        ports.attach("site", 1)
+        with pytest.raises(CapacityError):
+            ports.attach("site", 2)
+
+    def test_sites_independent(self):
+        ports = RoadmPorts(ports_per_site=1)
+        ports.attach("east", 1)
+        ports.attach("west", 2)  # no error
+        assert ports.free("east") == 0
+        assert ports.free("west") == 0
+
+    def test_detach_returns_port(self):
+        ports = RoadmPorts(ports_per_site=1)
+        ports.attach("site", 1)
+        ports.detach("site", 1)
+        ports.attach("site", 2)  # fits again
+
+    def test_double_attach_same_lightpath_rejected(self):
+        ports = RoadmPorts(ports_per_site=4)
+        ports.attach("site", 1)
+        with pytest.raises(ConfigurationError):
+            ports.attach("site", 1)
+
+    def test_detach_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoadmPorts().detach("site", 99)
+
+    def test_invalid_pool_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoadmPorts(ports_per_site=0)

@@ -1,0 +1,71 @@
+"""Tests for optical timeslot tables."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.optical.timeslot import TimeslotTable
+
+
+class TestSlotArithmetic:
+    def test_slot_rate(self):
+        table = TimeslotTable(n_slots=10, channel_gbps=100.0)
+        assert table.slot_gbps == pytest.approx(10.0)
+
+    def test_slots_needed_rounds_up(self):
+        table = TimeslotTable(n_slots=10, channel_gbps=100.0)
+        assert table.slots_needed(10.0) == 1
+        assert table.slots_needed(10.5) == 2
+        assert table.slots_needed(95.0) == 10
+
+    def test_tiny_rate_needs_one_slot(self):
+        table = TimeslotTable(n_slots=10, channel_gbps=100.0)
+        assert table.slots_needed(0.001) == 1
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeslotTable().slots_needed(0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            TimeslotTable(n_slots=0)
+        with pytest.raises(ConfigurationError):
+            TimeslotTable(channel_gbps=0.0)
+
+
+class TestAllocation:
+    def test_first_fit_slots(self):
+        table = TimeslotTable(n_slots=10, channel_gbps=100.0)
+        assert table.allocate("a", 25.0) == [0, 1, 2]
+        assert table.allocate("b", 10.0) == [3]
+
+    def test_owner_rate_guarantee(self):
+        table = TimeslotTable(n_slots=10, channel_gbps=100.0)
+        table.allocate("a", 25.0)
+        assert table.owner_gbps("a") >= 25.0
+
+    def test_exhaustion_raises(self):
+        table = TimeslotTable(n_slots=4, channel_gbps=100.0)
+        table.allocate("a", 75.0)
+        with pytest.raises(CapacityError):
+            table.allocate("b", 50.0)
+
+    def test_release_frees_slots(self):
+        table = TimeslotTable(n_slots=4, channel_gbps=100.0)
+        table.allocate("a", 100.0)
+        assert table.release("a") == 4
+        assert table.free_slots() == [0, 1, 2, 3]
+
+    def test_release_unknown_owner_is_zero(self):
+        assert TimeslotTable().release("ghost") == 0
+
+    def test_utilisation(self):
+        table = TimeslotTable(n_slots=10, channel_gbps=100.0)
+        table.allocate("a", 30.0)
+        assert table.utilisation == pytest.approx(0.3)
+
+    def test_released_gaps_are_reused(self):
+        table = TimeslotTable(n_slots=4, channel_gbps=100.0)
+        table.allocate("a", 25.0)  # slot 0
+        table.allocate("b", 25.0)  # slot 1
+        table.release("a")
+        assert table.allocate("c", 25.0) == [0]

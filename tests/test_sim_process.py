@@ -1,0 +1,123 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+
+class TestProcess:
+    def test_yields_advance_time(self):
+        sim = Simulator()
+        checkpoints = []
+
+        def body():
+            checkpoints.append(sim.now)
+            yield 10.0
+            checkpoints.append(sim.now)
+            yield 5.0
+            checkpoints.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert checkpoints == [0.0, 10.0, 15.0]
+
+    def test_return_value_captured(self):
+        sim = Simulator()
+
+        def body():
+            yield 1.0
+            return "done"
+
+        process = Process(sim, body())
+        sim.run()
+        assert process.finished
+        assert process.result == "done"
+
+    def test_on_done_callback(self):
+        sim = Simulator()
+        results = []
+
+        def body():
+            yield 2.0
+            return 42
+
+        Process(sim, body(), on_done=results.append)
+        sim.run()
+        assert results == [42]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        seen = []
+
+        def body():
+            seen.append(sim.now)
+            yield 0.0
+
+        Process(sim, body(), start_delay=7.0)
+        sim.run()
+        assert seen == [7.0]
+
+    def test_cancel_stops_process(self):
+        sim = Simulator()
+        ticks = []
+
+        def body():
+            for _ in range(100):
+                ticks.append(sim.now)
+                yield 1.0
+
+        process = Process(sim, body())
+        sim.schedule(2.5, process.cancel)
+        sim.run()
+        assert not process.finished
+        assert len(ticks) == 3  # at t = 0, 1, 2
+
+    def test_invalid_yield_value_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield -5.0
+
+        Process(sim, body(), name="bad")
+        with pytest.raises(SimulationError, match="bad"):
+            sim.run()
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def maker(label, period):
+            def body():
+                for _ in range(3):
+                    yield period
+                    log.append((label, sim.now))
+
+            return body
+
+        Process(sim, maker("fast", 1.0)())
+        Process(sim, maker("slow", 2.5)())
+        sim.run()
+        assert log == [
+            ("fast", 1.0),
+            ("fast", 2.0),
+            ("slow", 2.5),
+            ("fast", 3.0),
+            ("slow", 5.0),
+            ("slow", 7.5),
+        ]
+
+    def test_zero_delay_yield_continues_same_time(self):
+        sim = Simulator()
+        times = []
+
+        def body():
+            yield 0.0
+            times.append(sim.now)
+            yield 0.0
+            times.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert times == [0.0, 0.0]

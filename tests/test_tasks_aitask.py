@@ -1,0 +1,101 @@
+"""Tests for the AITask request object."""
+
+import pytest
+
+from repro.errors import TaskError
+from repro.tasks.aitask import AITask
+from repro.tasks.models import get_model
+
+
+def make_task(**overrides):
+    defaults = dict(
+        task_id="t1",
+        model=get_model("resnet18"),
+        global_node="g",
+        local_nodes=("a", "b", "c"),
+    )
+    defaults.update(overrides)
+    return AITask(**defaults)
+
+
+class TestValidation:
+    def test_valid_task(self):
+        task = make_task()
+        assert task.n_locals == 3
+        assert task.size_mb == pytest.approx(get_model("resnet18").size_mb)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(TaskError):
+            make_task(task_id="")
+
+    def test_no_locals_rejected(self):
+        with pytest.raises(TaskError):
+            make_task(local_nodes=())
+
+    def test_duplicate_locals_rejected(self):
+        with pytest.raises(TaskError):
+            make_task(local_nodes=("a", "a"))
+
+    def test_global_in_locals_rejected(self):
+        with pytest.raises(TaskError):
+            make_task(local_nodes=("g", "b"))
+
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(TaskError):
+            make_task(rounds=0)
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(TaskError):
+            make_task(demand_gbps=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(TaskError):
+            make_task(arrival_ms=-1.0)
+
+    def test_utility_length_must_match(self):
+        with pytest.raises(TaskError):
+            make_task(local_utility=(0.5, 0.5))
+
+    def test_utility_range_enforced(self):
+        with pytest.raises(TaskError):
+            make_task(local_utility=(0.5, 0.5, 1.5))
+
+
+class TestUtility:
+    def test_default_utility_is_one(self):
+        assert make_task().utility_of("a") == 1.0
+
+    def test_explicit_utility(self):
+        task = make_task(local_utility=(0.1, 0.2, 0.3))
+        assert task.utility_of("b") == 0.2
+
+    def test_unknown_local_rejected(self):
+        with pytest.raises(TaskError):
+            make_task().utility_of("nope")
+
+
+class TestWithLocals:
+    def test_subset_kept_in_order(self):
+        task = make_task()
+        subset = task.with_locals(("a", "c"))
+        assert subset.local_nodes == ("a", "c")
+        assert subset.task_id == task.task_id
+
+    def test_utilities_carried_over(self):
+        task = make_task(local_utility=(0.1, 0.2, 0.3))
+        subset = task.with_locals(("c", "a"))
+        assert subset.utility_of("c") == 0.3
+        assert subset.utility_of("a") == 0.1
+
+    def test_foreign_nodes_rejected(self):
+        with pytest.raises(TaskError):
+            make_task().with_locals(("a", "zz"))
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(TaskError):
+            make_task().with_locals(())
+
+    def test_original_unchanged(self):
+        task = make_task()
+        task.with_locals(("a",))
+        assert task.local_nodes == ("a", "b", "c")

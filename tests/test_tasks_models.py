@@ -1,0 +1,52 @@
+"""Tests for the ML model catalogue."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks.models import MLModelSpec, MODEL_CATALOGUE, get_model
+
+
+class TestCatalogue:
+    def test_known_models_present(self):
+        for name in ("resnet18", "resnet50", "bert-base", "gpt2-xl"):
+            assert name in MODEL_CATALOGUE
+
+    def test_get_model_returns_spec(self):
+        spec = get_model("resnet18")
+        assert spec.name == "resnet18"
+        assert spec.parameters == pytest.approx(1.17e7)
+
+    def test_unknown_model_lists_catalogue(self):
+        with pytest.raises(ConfigurationError, match="resnet18"):
+            get_model("not-a-model")
+
+    def test_sizes_span_orders_of_magnitude(self):
+        sizes = [spec.size_mb for spec in MODEL_CATALOGUE.values()]
+        assert max(sizes) / min(sizes) > 1_000
+
+
+class TestSpec:
+    def test_size_from_parameters(self):
+        spec = MLModelSpec("tiny", parameters=1e6, train_gflop_per_round=1.0)
+        assert spec.size_mb == pytest.approx(32.0)  # 4 MB in megabits
+
+    def test_half_precision_halves_size(self):
+        spec = get_model("bert-base")
+        assert spec.half_precision().size_mb == pytest.approx(spec.size_mb / 2)
+
+    def test_half_precision_keeps_compute(self):
+        spec = get_model("bert-base")
+        assert spec.half_precision().train_gflop_per_round == spec.train_gflop_per_round
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MLModelSpec("bad", parameters=0, train_gflop_per_round=1.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MLModelSpec("bad", parameters=1e6, train_gflop_per_round=-1.0)
+
+    def test_specs_are_frozen(self):
+        spec = get_model("resnet18")
+        with pytest.raises(AttributeError):
+            spec.parameters = 5

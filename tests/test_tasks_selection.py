@@ -1,0 +1,104 @@
+"""Tests for client-selection strategies (challenge #1)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks.aitask import AITask
+from repro.tasks.models import get_model
+from repro.tasks.selection import (
+    select_all,
+    select_random,
+    select_top_utility,
+    selected_utility,
+    utility_proportional,
+)
+
+
+@pytest.fixture
+def task():
+    return AITask(
+        task_id="sel",
+        model=get_model("resnet18"),
+        global_node="g",
+        local_nodes=("a", "b", "c", "d"),
+        local_utility=(0.9, 0.1, 0.7, 0.3),
+    )
+
+
+class TestSelectAll:
+    def test_identity(self, task):
+        assert select_all(task) is task
+
+
+class TestTopUtility:
+    def test_keeps_best_half(self, task):
+        chosen = select_top_utility(task, 0.5)
+        assert set(chosen.local_nodes) == {"a", "c"}
+
+    def test_original_order_preserved(self, task):
+        chosen = select_top_utility(task, 0.75)
+        assert chosen.local_nodes == ("a", "c", "d")
+
+    def test_at_least_one_kept(self, task):
+        chosen = select_top_utility(task, 0.01)
+        assert chosen.n_locals == 1
+        assert chosen.local_nodes == ("a",)
+
+    def test_full_fraction_keeps_all(self, task):
+        assert select_top_utility(task, 1.0).n_locals == 4
+
+    def test_invalid_fraction_rejected(self, task):
+        with pytest.raises(ConfigurationError):
+            select_top_utility(task, 0.0)
+        with pytest.raises(ConfigurationError):
+            select_top_utility(task, 1.5)
+
+    def test_deterministic(self, task):
+        assert select_top_utility(task, 0.5).local_nodes == select_top_utility(
+            task, 0.5
+        ).local_nodes
+
+
+class TestRandomSelection:
+    def test_count_matches_fraction(self, task):
+        chosen = select_random(task, 0.5, random.Random(0))
+        assert chosen.n_locals == 2
+
+    def test_seeded_reproducible(self, task):
+        a = select_random(task, 0.5, random.Random(7))
+        b = select_random(task, 0.5, random.Random(7))
+        assert a.local_nodes == b.local_nodes
+
+    def test_subset_of_original(self, task):
+        chosen = select_random(task, 0.75, random.Random(1))
+        assert set(chosen.local_nodes) <= set(task.local_nodes)
+
+
+class TestUtilityProportional:
+    def test_count_matches_fraction(self, task):
+        chosen = utility_proportional(task, 0.5, random.Random(0))
+        assert chosen.n_locals == 2
+
+    def test_high_utility_preferred_statistically(self, task):
+        picks = {"a": 0, "b": 0, "c": 0, "d": 0}
+        rng = random.Random(42)
+        for _ in range(300):
+            chosen = utility_proportional(task, 0.25, rng)
+            picks[chosen.local_nodes[0]] += 1
+        assert picks["a"] > picks["b"]
+
+    def test_utilities_carried(self, task):
+        chosen = utility_proportional(task, 0.5, random.Random(0))
+        for node in chosen.local_nodes:
+            assert chosen.utility_of(node) == task.utility_of(node)
+
+
+class TestSelectedUtility:
+    def test_sums_utilities(self, task):
+        assert selected_utility(task) == pytest.approx(2.0)
+
+    def test_subset_sum(self, task):
+        chosen = select_top_utility(task, 0.5)
+        assert selected_utility(chosen) == pytest.approx(1.6)

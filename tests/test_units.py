@@ -1,0 +1,92 @@
+"""Tests for repro.units: conversions and guardrails."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro import units
+
+
+class TestByteConversions:
+    def test_megabits_from_bytes_round_trip(self):
+        assert units.bytes_from_megabits(units.megabits_from_bytes(1_000_000)) == pytest.approx(1_000_000)
+
+    def test_one_megabit_is_125_kb(self):
+        assert units.megabits_from_bytes(125_000) == pytest.approx(1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.megabits_from_bytes(-1)
+
+    def test_negative_megabits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.bytes_from_megabits(-0.5)
+
+
+class TestModelSize:
+    def test_fp32_parameter_size(self):
+        # 1M params x 4 bytes = 4 MB = 32 megabits
+        assert units.megabits_from_parameters(1e6) == pytest.approx(32.0)
+
+    def test_fp16_halves_size(self):
+        full = units.megabits_from_parameters(1e6, 4.0)
+        half = units.megabits_from_parameters(1e6, 2.0)
+        assert half == pytest.approx(full / 2)
+
+    def test_zero_parameters_is_zero(self):
+        assert units.megabits_from_parameters(0) == 0.0
+
+    def test_invalid_encoding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.megabits_from_parameters(1e6, 0.0)
+
+
+class TestTransmission:
+    def test_one_gbps_moves_one_megabit_per_ms(self):
+        assert units.transmission_ms(10.0, 1.0) == pytest.approx(10.0)
+
+    def test_scales_inversely_with_rate(self):
+        assert units.transmission_ms(100.0, 10.0) == pytest.approx(
+            units.transmission_ms(100.0, 1.0) / 10.0
+        )
+
+    def test_zero_size_is_instant(self):
+        assert units.transmission_ms(0.0, 5.0) == 0.0
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.transmission_ms(1.0, 0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.transmission_ms(-1.0, 1.0)
+
+
+class TestPropagation:
+    def test_five_us_per_km(self):
+        assert units.propagation_ms(200.0) == pytest.approx(1.0)
+
+    def test_zero_distance(self):
+        assert units.propagation_ms(0.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.propagation_ms(-3.0)
+
+
+class TestCompute:
+    def test_gflop_over_gflops_is_seconds(self):
+        # 100 GFLOP at 100 GFLOPS = 1 s = 1000 ms
+        assert units.compute_ms(100.0, 100.0) == pytest.approx(1000.0)
+
+    def test_zero_work(self):
+        assert units.compute_ms(0.0, 50.0) == 0.0
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.compute_ms(1.0, 0.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.compute_ms(-1.0, 1.0)
