@@ -1,0 +1,17 @@
+.PHONY: test bench smoke all
+
+# Tier-1: the full test suite (pyproject.toml supplies pythonpath/testpaths).
+test:
+	python -m pytest -q
+
+# The benchmark suite (needs pytest-benchmark).
+bench:
+	python -m pytest benchmarks -q
+
+# A fast end-to-end sanity pass over the scenario machinery.
+smoke:
+	PYTHONPATH=src python -m repro.cli scenarios list
+	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
+		--set demand_gbps=5,10 --dry-run
+
+all: test bench

@@ -7,7 +7,7 @@ consumed bandwidth, and the bandwidth-heaviest setting consumes no more
 than the latency-only one.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.ablations import run_auxgraph_ablation
 

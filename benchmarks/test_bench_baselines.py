@@ -7,7 +7,7 @@ bandwidth dominates all three alternatives; aggregation-capable schemes
 once the local count stresses the global node's access link.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.extensions import run_baselines_comparison
 

@@ -8,7 +8,7 @@ blocks tasks — shed load is not served load — so the honest comparison
 is completion count at equal offered load.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.extensions import run_campaign_comparison
 

@@ -6,7 +6,7 @@ falls to roughly half for both schedulers, and compression does not
 change which scheduler wins.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.extensions import run_compression_ablation
 

@@ -7,7 +7,7 @@ repaired state consumes less bandwidth (more headroom for the next
 failure).
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.extensions import run_failure_recovery
 

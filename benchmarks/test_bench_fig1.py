@@ -5,7 +5,7 @@ a connectivity set that consumes fewer link-rate units and aggregates at
 intermediate nodes rather than only at the global model.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.fig1 import run_fig1
 

@@ -9,7 +9,7 @@ Regenerates the latency panel and asserts the paper's claims:
   5-60% saving since our substrate is a simulator, not their testbed).
 """
 
-from conftest import run_once, series
+from benchmarks.conftest import run_once, series
 
 from repro.experiments.fig3 import Fig3Config, run_fig3
 

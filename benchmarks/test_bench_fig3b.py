@@ -9,7 +9,7 @@ Asserts the paper's claims:
 * the gap widens as the number of local models grows.
 """
 
-from conftest import run_once, series
+from benchmarks.conftest import run_once, series
 
 from repro.experiments.fig3 import Fig3Config, run_fig3
 

@@ -6,7 +6,7 @@ optimum (ratio >= 1) and the textbook 2(1 - 1/k) guarantee, with the
 construction is near-optimal in practice, not merely bounded.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.extensions import run_optimality_gap
 

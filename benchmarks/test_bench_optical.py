@@ -7,7 +7,7 @@ Asserted shape: the flexible scheduler lights less spectrum, with the gap
 growing in the number of local models.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.extensions import run_optical_spectrum
 

@@ -6,7 +6,7 @@ monotone frontier: cheaper interruptions => more re-schedules => more
 bandwidth recovered after conditions improve.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.ablations import run_rescheduling_ablation
 

@@ -6,7 +6,7 @@ latency, and the utility-aware strategies retain more aggregate utility
 than uniform random at the same keep-fraction.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.ablations import run_selection_ablation
 

@@ -7,7 +7,7 @@ within 10% at every sweep point (exactly for the fixed scheduler, whose
 paths have no cross-flow dependencies).
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.extensions import run_model_validation
 

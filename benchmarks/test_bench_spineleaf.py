@@ -6,7 +6,7 @@ task mix on both fabrics must show lower broadcast latency on spine-leaf
 (two short hops, no metro ring detours).
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.ablations import run_spineleaf_ablation
 

@@ -6,7 +6,7 @@ must show RDMA dominating at datacenter distances (CPU and transfer time)
 and its advantage eroding over long-haul fibre.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments.ablations import run_transport_ablation
 

@@ -1,4 +1,4 @@
-"""Setup shim so editable installs work without the ``wheel`` package."""
+"""Setup shim for legacy tooling; all metadata lives in pyproject.toml."""
 from setuptools import setup
 
 setup()

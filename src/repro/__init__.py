@@ -67,15 +67,27 @@ from .network import (
     dijkstra,
     k_shortest_paths,
     metro_mesh,
+    fat_tree,
     metro_ring,
     minimum_spanning_tree,
     nsfnet,
     random_geometric,
+    scale_free,
     spine_leaf,
     terminal_tree,
     toy_triangle,
 )
-from .orchestrator import Orchestrator, build_servers_for
+from .orchestrator import Orchestrator, build_servers_for, run_scenario
+from .scenarios import (
+    LinkFailureModel,
+    ScenarioInstance,
+    ScenarioSpec,
+    SweepConfig,
+    get_scenario,
+    list_scenarios,
+    register,
+    run_sweep,
+)
 from .sim import Process, RandomStreams, Simulator
 from .tasks import (
     AITask,
@@ -139,9 +151,21 @@ __all__ = [
     "nsfnet",
     "spine_leaf",
     "random_geometric",
+    "scale_free",
+    "fat_tree",
     # orchestration
     "Orchestrator",
     "build_servers_for",
+    "run_scenario",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioInstance",
+    "LinkFailureModel",
+    "SweepConfig",
+    "get_scenario",
+    "list_scenarios",
+    "register",
+    "run_sweep",
     # sim
     "Simulator",
     "Process",

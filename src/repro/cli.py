@@ -1,10 +1,24 @@
-"""Command-line entry point: ``repro <experiment> [--save out.json]``.
+"""Command-line entry point: experiments and scenario sweeps.
 
 Runs any experiment from DESIGN.md §4 and prints its table, e.g.::
 
     repro fig3a
     repro abl-rdma --save rdma.json
     repro list
+
+The ``scenarios`` subcommand exposes the scenario registry and the
+parallel sweep engine::
+
+    repro scenarios list
+    repro scenarios list --tag wan
+    repro scenarios sweep metro-mesh-uniform --set n_locals=3,6,9 \\
+        --seeds 0,1 --workers 4 --cache-dir .sweep-cache --save out.json
+    repro scenarios sweep fat-tree-uniform --dry-run
+
+``scenarios sweep`` expands the cross product of every ``--set``
+dimension and the seed list over the named scenarios, fans the runs out
+over ``--workers`` processes (results are byte-identical to a serial
+run), and resumes from ``--cache-dir`` when given.
 """
 
 from __future__ import annotations
@@ -59,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Regenerate the figures and ablations of 'Flexible Scheduling "
             "of Network and Computing Resources for Distributed AI Tasks'."
         ),
+        epilog=(
+            "The scenario registry and parallel sweep engine live under "
+            "'repro scenarios': try 'repro scenarios list' and "
+            "'repro scenarios sweep --help'."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -73,8 +92,123 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_scenarios_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description="inspect the scenario registry and run parameter sweeps",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="print every registered scenario")
+    list_cmd.add_argument("--tag", help="only scenarios carrying this tag")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a parameter grid over scenarios and run it",
+        description=(
+            "Expands the cross product of every --set dimension and the "
+            "seed list over the named scenarios, runs each (scenario, "
+            "params, seed) under both schedulers, and prints the collected "
+            "rows.  --workers fans runs out over a process pool with "
+            "byte-identical results; --cache-dir resumes finished runs."
+        ),
+    )
+    sweep.add_argument("scenario", nargs="+", help="registered scenario names")
+    sweep.add_argument(
+        "--set",
+        dest="grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="one grid dimension; repeat for the cross product",
+    )
+    sweep.add_argument(
+        "--seeds",
+        default="0",
+        metavar="S1,S2,...",
+        help="comma-separated replication seeds (default: 0)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (default: 1)"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist per-run results here and resume on rerun",
+    )
+    sweep.add_argument("--save", metavar="PATH", help="write result JSON to PATH")
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded run list without executing",
+    )
+    return parser
+
+
+def _parse_scalar(text: str):
+    """CLI grid values: int if possible, else float, else the string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _scenarios_main(argv: List[str]) -> int:
+    from .errors import ConfigurationError
+    from .scenarios import SweepConfig, expand_runs, list_scenarios, run_sweep
+
+    args = build_scenarios_parser().parse_args(argv)
+    if args.command == "list":
+        specs = list_scenarios(tag=args.tag)
+        width = max((len(spec.name) for spec in specs), default=0)
+        for spec in specs:
+            tags = ",".join(spec.tags)
+            print(f"{spec.name:<{width}}  {spec.description}  [{tags}]")
+        return 0
+
+    grid = {}
+    for item in args.grid:
+        if "=" not in item:
+            print(f"--set expects KEY=V1,V2,... got {item!r}", file=sys.stderr)
+            return 2
+        key, _, values = item.partition("=")
+        grid[key] = [_parse_scalar(v) for v in values.split(",") if v]
+    try:
+        seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    except ValueError:
+        print(f"--seeds expects integers, got {args.seeds!r}", file=sys.stderr)
+        return 2
+    try:
+        config = SweepConfig(
+            scenarios=tuple(args.scenario),
+            grid=grid,
+            seeds=seeds,
+        )
+        if args.dry_run:
+            for key in expand_runs(config):
+                print(key.canonical())
+            return 0
+        result = run_sweep(
+            config, workers=args.workers, cache_dir=args.cache_dir
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.to_table())
+    if args.save:
+        result.save(args.save)
+        print(f"saved sweep to {args.save}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "scenarios":
+        return _scenarios_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -25,10 +25,12 @@ from .paths import (
 from .state import LinkUtilisation, NetworkState
 from .topologies import (
     dumbbell,
+    fat_tree,
     metro_mesh,
     metro_ring,
     nsfnet,
     random_geometric,
+    scale_free,
     spine_leaf,
     toy_triangle,
 )
@@ -51,10 +53,12 @@ __all__ = [
     "LinkUtilisation",
     "NetworkState",
     "dumbbell",
+    "fat_tree",
     "metro_mesh",
     "metro_ring",
     "nsfnet",
     "random_geometric",
+    "scale_free",
     "spine_leaf",
     "toy_triangle",
 ]

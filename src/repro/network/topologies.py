@@ -198,6 +198,92 @@ def dumbbell(
     return net
 
 
+def scale_free(
+    n_routers: int = 20,
+    *,
+    m_links: int = 2,
+    seed: int = 0,
+    capacity_gbps: float = DEFAULT_CAPACITY_GBPS,
+    mean_span_km: float = 30.0,
+    servers_per_site: int = 1,
+) -> Network:
+    """A Barabási–Albert preferential-attachment router graph.
+
+    Heavy-tailed degree distributions concentrate traffic on a few hub
+    routers, the communication-bottleneck regime of scale-free networks
+    that the metro meshes never exhibit.  Each new router attaches to
+    ``m_links`` existing routers with probability proportional to their
+    current degree; every router hosts ``servers_per_site`` servers.
+    """
+    if n_routers < 2:
+        raise ConfigurationError(f"need >= 2 routers, got {n_routers}")
+    if m_links < 1:
+        raise ConfigurationError(f"m_links must be >= 1, got {m_links}")
+    rng = random.Random(seed)
+    net = Network(f"scale-free-{n_routers}")
+    for i in range(n_routers):
+        net.add_node(f"RT-{i}", NodeKind.ROUTER)
+        for j in range(servers_per_site):
+            name = f"SRV-{i}-{j}"
+            net.add_node(name, NodeKind.SERVER)
+            net.add_link(name, f"RT-{i}", capacity_gbps, distance_km=0.05)
+    # Repeated-node list: sampling from it is degree-proportional.
+    attachment: List[int] = []
+    net.add_link("RT-0", "RT-1", capacity_gbps, distance_km=mean_span_km)
+    attachment.extend((0, 1))
+    for i in range(2, n_routers):
+        targets: List[int] = []
+        while len(targets) < min(m_links, i):
+            pick = rng.choice(attachment)
+            if pick not in targets:
+                targets.append(pick)
+        for t in targets:
+            km = max(1.0, rng.expovariate(1.0 / mean_span_km))
+            net.add_link(f"RT-{i}", f"RT-{t}", capacity_gbps, distance_km=km)
+            attachment.append(t)
+        attachment.extend([i] * len(targets))
+    return net
+
+
+def fat_tree(
+    k: int = 4,
+    *,
+    capacity_gbps: float = DEFAULT_CAPACITY_GBPS,
+    edge_km: float = 0.05,
+) -> Network:
+    """A k-ary fat-tree datacenter fabric (k even, k >= 2).
+
+    ``(k/2)^2`` core spines, ``k`` pods of ``k/2`` aggregation plus
+    ``k/2`` edge leaves, and ``k/2`` servers per edge leaf.  Aggregation
+    and edge switches groom (LEAF kind); cores are optical spines.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ConfigurationError(f"fat_tree needs an even k >= 2, got {k}")
+    half = k // 2
+    net = Network(f"fat-tree-{k}")
+    for c in range(half * half):
+        net.add_node(f"CORE-{c}", NodeKind.SPINE, aggregation_capable=False)
+    for p in range(k):
+        for a in range(half):
+            agg = f"AGG-{p}-{a}"
+            net.add_node(agg, NodeKind.LEAF)
+            # Core group ``a`` serves aggregation index ``a`` in every pod.
+            for c in range(half):
+                net.add_link(
+                    agg, f"CORE-{a * half + c}", capacity_gbps, distance_km=edge_km
+                )
+        for e in range(half):
+            edge = f"EDGE-{p}-{e}"
+            net.add_node(edge, NodeKind.LEAF)
+            for a in range(half):
+                net.add_link(edge, f"AGG-{p}-{a}", capacity_gbps, distance_km=edge_km)
+            for s in range(half):
+                name = f"SRV-{p}-{e}-{s}"
+                net.add_node(name, NodeKind.SERVER)
+                net.add_link(name, edge, capacity_gbps, distance_km=0.01)
+    return net
+
+
 def random_geometric(
     n_routers: int,
     *,

@@ -14,7 +14,7 @@ Components map one-to-one onto the testbed's control plane:
   that embeds the scheduling policy and coordinates everything.
 """
 
-from .campaign import CampaignResult, CampaignRunner, TaskOutcome
+from .campaign import CampaignResult, CampaignRunner, TaskOutcome, run_scenario
 from .database import Database, TaskRecord, TaskStatus
 from .monitor import NetworkMonitor
 from .orchestrator import Orchestrator, build_servers_for
@@ -25,6 +25,7 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "TaskOutcome",
+    "run_scenario",
     "Database",
     "TaskRecord",
     "TaskStatus",

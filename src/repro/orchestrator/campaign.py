@@ -13,8 +13,9 @@ of letting the paper's testbed run for an afternoon.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Union
 
+from ..core.base import Scheduler
 from ..core.prediction import IterationPredictor
 from ..errors import OrchestrationError
 from ..sim.engine import Simulator
@@ -22,6 +23,9 @@ from ..sim.process import Process
 from ..tasks.workload import TaskWorkload
 from .database import TaskStatus
 from .orchestrator import Orchestrator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..scenarios.spec import ScenarioSpec
 
 
 @dataclass
@@ -180,3 +184,45 @@ class CampaignRunner:
             makespan_ms=max(finish_times) if finish_times else sim.now,
             blocked=blocked,
         )
+
+
+def run_scenario(
+    spec: "Union[str, ScenarioSpec]",
+    params: Optional[Mapping[str, Any]] = None,
+    *,
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    reschedule_period_ms: Optional[float] = None,
+    until: Optional[float] = None,
+) -> CampaignResult:
+    """Play one registered scenario as a full campaign timeline.
+
+    This is the scenario-registry entry point into the campaign runner:
+    the spec (by name or object) is instantiated deterministically for
+    ``(params, seed)``, its background flows are injected, and its task
+    mix is admitted at the generated arrival times on simulated time.
+
+    Args:
+        spec: a registered scenario name or a :class:`ScenarioSpec`.
+        params: parameter overrides (validated against the spec).
+        seed: master seed for topology randomness, failures, and tasks.
+        scheduler: scheduling policy; flexible (MST) when omitted.
+        reschedule_period_ms / until: forwarded to the campaign runner.
+    """
+    # Imported lazily: repro.scenarios imports orchestrator machinery.
+    from ..core.flexible import FlexibleScheduler
+    from ..scenarios.registry import get_scenario
+    from ..traffic.generator import TrafficGenerator
+
+    if isinstance(spec, str):
+        spec = get_scenario(spec)
+    instance = spec.instantiate(params, seed=seed)
+    traffic = TrafficGenerator(instance.network, instance.streams)
+    traffic.inject_static(int(instance.params.get("background_flows", 0)))
+    orchestrator = Orchestrator(instance.network, scheduler or FlexibleScheduler())
+    runner = CampaignRunner(
+        orchestrator,
+        instance.workload,
+        reschedule_period_ms=reschedule_period_ms,
+    )
+    return runner.run(until=until)

@@ -1,0 +1,63 @@
+"""Scenario registry + parallel sweep engine.
+
+This package is the chassis for scaling the reproduction beyond the
+paper's two figures: named, parameterized scenarios (topology × workload
+× optional failures) live in a process-global registry, and the sweep
+engine expands parameter grids over them, fanning runs out across a
+worker pool with per-run deterministic seeding and resume-on-rerun
+caching.
+
+Quick tour::
+
+    from repro.scenarios import get_scenario, list_scenarios
+    from repro.scenarios import SweepConfig, run_sweep
+
+    for spec in list_scenarios():
+        print(spec.name, "-", spec.description)
+
+    result = run_sweep(
+        SweepConfig(
+            scenarios=("metro-mesh-uniform",),
+            grid={"n_locals": [3, 6, 9]},
+            seeds=(0, 1),
+        ),
+        workers=4,
+    )
+    print(result.to_table())
+
+Importing the package registers the built-in catalogue.
+"""
+
+from .builtin import register_builtin_scenarios
+from .failures import LinkFailureModel
+from .registry import get_scenario, list_scenarios, register, unregister
+from .spec import ScenarioInstance, ScenarioSpec
+from .sweep import (
+    RunKey,
+    SweepConfig,
+    execute_run,
+    expand_grid,
+    expand_runs,
+    run_sweep,
+)
+from .workloads import WORKLOADS
+
+register_builtin_scenarios()
+
+__all__ = [
+    "LinkFailureModel",
+    "RunKey",
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "SweepConfig",
+    "WORKLOADS",
+    "execute_run",
+    "expand_grid",
+    "expand_runs",
+    "get_scenario",
+    "list_scenarios",
+    "register",
+    "register_builtin_scenarios",
+    "run_sweep",
+    "unregister",
+]

@@ -1,0 +1,249 @@
+"""The built-in scenario catalogue.
+
+Twelve scenarios spanning every topology family (metro ring/mesh,
+spine-leaf, NSFNET WAN, scale-free, fat-tree) crossed with the three
+workload families (uniform, heavy-tailed Pareto demands, bursty
+arrivals) and link failures.  Importing :mod:`repro.scenarios` registers
+all of them; sweeps reference them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..network import topologies
+from ..network.graph import Network
+from ..sim.rng import RandomStreams
+from ..tasks.aitask import AITask
+from ..tasks.models import get_model
+from ..tasks.workload import TaskWorkload, WorkloadConfig
+from . import workloads
+from .failures import LinkFailureModel
+from .registry import register
+from .spec import ScenarioSpec
+
+#: Workload parameters shared by every built-in scenario.
+_WORKLOAD_DEFAULTS: Dict[str, Any] = {
+    "n_tasks": 20,
+    "n_locals": 4,
+    "demand_gbps": 10.0,
+    "rounds": 3,
+    "background_flows": 20,
+}
+
+
+# ---------------------------------------------------------------------------
+# Topology builders (module-level so specs stay picklable)
+# ---------------------------------------------------------------------------
+
+def _toy_triangle(params: Dict[str, Any]) -> Network:
+    return topologies.toy_triangle()
+
+
+def _metro_mesh(params: Dict[str, Any]) -> Network:
+    return topologies.metro_mesh(
+        n_sites=params["n_sites"], servers_per_site=params["servers_per_site"]
+    )
+
+
+def _metro_ring(params: Dict[str, Any]) -> Network:
+    return topologies.metro_ring(
+        n_sites=params["n_sites"], servers_per_site=params["servers_per_site"]
+    )
+
+
+def _spine_leaf(params: Dict[str, Any]) -> Network:
+    return topologies.spine_leaf(
+        n_spines=params["n_spines"],
+        n_leaves=params["n_leaves"],
+        servers_per_leaf=params["servers_per_leaf"],
+    )
+
+
+def _nsfnet(params: Dict[str, Any]) -> Network:
+    return topologies.nsfnet(servers_per_site=params["servers_per_site"])
+
+
+def _scale_free(params: Dict[str, Any]) -> Network:
+    return topologies.scale_free(
+        n_routers=params["n_routers"],
+        m_links=params["m_links"],
+        seed=params["topology_seed"],
+        servers_per_site=params["servers_per_site"],
+    )
+
+
+def _fat_tree(params: Dict[str, Any]) -> Network:
+    return topologies.fat_tree(k=params["fat_tree_k"])
+
+
+def _fig1_workload(
+    network: Network, params: Dict[str, Any], streams: RandomStreams
+) -> TaskWorkload:
+    """The exact Fig. 1 task: global S-G, locals S-1..S-3."""
+    task = AITask(
+        task_id="fig1-task",
+        model=get_model(params["model"]),
+        global_node="S-G",
+        local_nodes=("S-1", "S-2", "S-3"),
+        rounds=params["rounds"],
+        demand_gbps=params["demand_gbps"],
+    )
+    config = WorkloadConfig(
+        n_tasks=1, n_locals=3, demand_gbps=params["demand_gbps"],
+        rounds=params["rounds"],
+    )
+    return TaskWorkload(tasks=(task,), config=config)
+
+
+# ---------------------------------------------------------------------------
+# The catalogue
+# ---------------------------------------------------------------------------
+
+def register_builtin_scenarios() -> None:
+    """Register the catalogue (idempotent: replaces on re-import)."""
+    specs = (
+        ScenarioSpec(
+            name="toy-triangle",
+            description="the Fig. 1 toy example: one 3-local task, no load",
+            topology=_toy_triangle,
+            workload=_fig1_workload,
+            defaults={
+                "demand_gbps": 10.0,
+                "model": "resnet18",
+                "rounds": 1,
+                "background_flows": 0,
+            },
+            tags=("toy", "uniform", "figure"),
+        ),
+        ScenarioSpec(
+            name="metro-mesh-uniform",
+            description="the paper's metro mesh under the stock uniform mix",
+            topology=_metro_mesh,
+            workload=workloads.uniform,
+            defaults={**_WORKLOAD_DEFAULTS, "n_sites": 16, "servers_per_site": 2},
+            tags=("metro", "uniform", "figure"),
+        ),
+        ScenarioSpec(
+            name="metro-mesh-pareto",
+            description="metro mesh with heavy-tailed (Pareto) task demands",
+            topology=_metro_mesh,
+            workload=workloads.pareto,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "n_sites": 16,
+                "servers_per_site": 2,
+                "pareto_alpha": 1.8,
+                "demand_cap_gbps": 80.0,
+            },
+            tags=("metro", "pareto"),
+        ),
+        ScenarioSpec(
+            name="metro-mesh-failures",
+            description="metro mesh degraded by two random span failures",
+            topology=_metro_mesh,
+            workload=workloads.uniform,
+            failures=LinkFailureModel(n_failures=2),
+            defaults={**_WORKLOAD_DEFAULTS, "n_sites": 16, "servers_per_site": 2},
+            tags=("metro", "uniform", "failures"),
+        ),
+        ScenarioSpec(
+            name="metro-ring-uniform",
+            description="the plain metro ring (no chords) under uniform load",
+            topology=_metro_ring,
+            workload=workloads.uniform,
+            defaults={**_WORKLOAD_DEFAULTS, "n_sites": 8, "servers_per_site": 2},
+            tags=("metro", "uniform"),
+        ),
+        ScenarioSpec(
+            name="spine-leaf-uniform",
+            description="the all-optical spine-leaf fabric, uniform mix",
+            topology=_spine_leaf,
+            workload=workloads.uniform,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "n_spines": 4,
+                "n_leaves": 8,
+                "servers_per_leaf": 2,
+            },
+            tags=("datacenter", "uniform"),
+        ),
+        ScenarioSpec(
+            name="nsfnet-wan",
+            description="14-node NSFNET WAN where propagation dominates",
+            topology=_nsfnet,
+            workload=workloads.uniform,
+            defaults={**_WORKLOAD_DEFAULTS, "servers_per_site": 2},
+            tags=("wan", "uniform"),
+        ),
+        ScenarioSpec(
+            name="nsfnet-bursty",
+            description="NSFNET under Poisson-cluster (bursty) arrivals",
+            topology=_nsfnet,
+            workload=workloads.bursty,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "servers_per_site": 2,
+                "burst_size": 5,
+                "mean_burst_gap_ms": 1_000.0,
+                "intra_burst_ms": 5.0,
+            },
+            serve="campaign",
+            tags=("wan", "bursty"),
+        ),
+        ScenarioSpec(
+            name="scale-free-hubs",
+            description="Barabási–Albert graph whose hubs bottleneck traffic",
+            topology=_scale_free,
+            workload=workloads.uniform,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "n_routers": 24,
+                "m_links": 2,
+                "topology_seed": 1,
+                "servers_per_site": 1,
+            },
+            tags=("scale-free", "uniform"),
+        ),
+        ScenarioSpec(
+            name="scale-free-pareto",
+            description="scale-free hubs stressed by heavy-tailed demands",
+            topology=_scale_free,
+            workload=workloads.pareto,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "n_routers": 24,
+                "m_links": 2,
+                "topology_seed": 1,
+                "servers_per_site": 1,
+                "pareto_alpha": 1.6,
+                "demand_cap_gbps": 80.0,
+            },
+            tags=("scale-free", "pareto"),
+        ),
+        ScenarioSpec(
+            name="fat-tree-uniform",
+            description="k=4 fat-tree datacenter fabric, uniform mix",
+            topology=_fat_tree,
+            workload=workloads.uniform,
+            defaults={**_WORKLOAD_DEFAULTS, "fat_tree_k": 4},
+            tags=("datacenter", "uniform"),
+        ),
+        ScenarioSpec(
+            name="fat-tree-bursty",
+            description="fat-tree under bursty arrivals (incast-like pressure)",
+            topology=_fat_tree,
+            workload=workloads.bursty,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "fat_tree_k": 4,
+                "burst_size": 4,
+                "mean_burst_gap_ms": 500.0,
+                "intra_burst_ms": 2.0,
+            },
+            serve="campaign",
+            tags=("datacenter", "bursty"),
+        ),
+    )
+    for spec in specs:
+        register(spec, replace=True)

@@ -1,0 +1,51 @@
+"""Optional failure models attached to scenario specs.
+
+A failure model perturbs the freshly built topology before any traffic or
+tasks touch it, so every scheduler sees the same degraded fabric.  Models
+draw from a dedicated named stream, keeping failures reproducible and
+independent of workload randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from ..network.graph import Network
+from ..network.node import NodeKind
+
+
+@dataclass(frozen=True)
+class LinkFailureModel:
+    """Fail a fixed number of randomly chosen inter-switch links.
+
+    Server attachment links are never failed — a dead attachment link
+    just deletes the server from the scenario, which is a placement
+    question, not a routing one.
+
+    Attributes:
+        n_failures: links to fail (capped at the candidate count).
+    """
+
+    n_failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_failures < 1:
+            raise ConfigurationError(
+                f"n_failures must be >= 1, got {self.n_failures}"
+            )
+
+    def apply(self, network: Network, rng: random.Random) -> Tuple[Tuple[str, str], ...]:
+        """Fail links in ``network``; returns the failed (u, v) pairs."""
+        candidates: List[Tuple[str, str]] = sorted(
+            (link.u, link.v)
+            for link in network.links()
+            if network.node(link.u).kind is not NodeKind.SERVER
+            and network.node(link.v).kind is not NodeKind.SERVER
+        )
+        chosen = rng.sample(candidates, min(self.n_failures, len(candidates)))
+        for u, v in chosen:
+            network.fail_link(u, v)
+        return tuple(chosen)

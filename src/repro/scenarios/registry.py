@@ -1,0 +1,60 @@
+"""The global scenario registry.
+
+Scenarios are registered once at import time (the built-ins) or by user
+code; lookups are by name.  The registry is process-global: fork-started
+sweep workers inherit it wholesale, and spawn-started workers rebuild the
+built-in catalogue on import and receive any swept user-registered specs
+pickled from the parent (see ``sweep._init_worker``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .spec import ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, *, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` under its name.
+
+    Raises:
+        ConfigurationError: on a duplicate name unless ``replace=True``.
+    """
+    if not replace and spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is already registered; "
+            "pass replace=True to overwrite"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario; unknown names are ignored."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario.
+
+    Raises:
+        ConfigurationError: for unknown names (with the known list).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: "
+            f"{sorted(_REGISTRY) or '(none)'}"
+        ) from None
+
+
+def list_scenarios(tag: Optional[str] = None) -> List[ScenarioSpec]:
+    """Registered specs in name order, optionally filtered by tag."""
+    specs = (spec for _, spec in sorted(_REGISTRY.items()))
+    if tag is None:
+        return list(specs)
+    return [spec for spec in specs if tag in spec.tags]

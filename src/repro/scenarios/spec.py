@@ -1,0 +1,153 @@
+"""Scenario specifications: named topology × workload × failure bundles.
+
+A :class:`ScenarioSpec` is the unit the registry stores and the sweep
+engine expands: a topology builder, a workload builder, an optional
+failure model, and a dict of default parameters.  ``instantiate`` turns
+a spec plus overrides plus a seed into a concrete, fully deterministic
+:class:`ScenarioInstance` — same (spec, params, seed) always yields the
+same network, failures, and task mix, in any process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..network.graph import Network
+from ..sim.rng import RandomStreams
+from ..tasks.workload import TaskWorkload
+from .failures import LinkFailureModel
+
+#: Builds the fabric from the merged parameter dict.
+TopologyBuilder = Callable[[Dict[str, Any]], Network]
+#: Builds the task mix on that fabric from params + named streams.
+WorkloadBuilder = Callable[[Network, Dict[str, Any], RandomStreams], TaskWorkload]
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """One concrete realisation of a scenario.
+
+    Attributes:
+        spec: the originating spec.
+        params: the merged (defaults + overrides) parameters.
+        seed: the seed the instance was derived from.
+        network: the built (and possibly failure-degraded) fabric.
+        workload: the generated task mix.
+        streams: the instance's random streams (for background traffic).
+        failed_links: links the failure model took down, if any.
+    """
+
+    spec: "ScenarioSpec"
+    params: Dict[str, Any]
+    seed: int
+    network: Network
+    workload: TaskWorkload
+    streams: RandomStreams
+    failed_links: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, parameterized scenario.
+
+    Attributes:
+        name: unique registry key.
+        description: one-line summary shown by ``repro scenarios list``.
+        topology: builder mapping params -> Network.
+        workload: builder mapping (network, params, streams) -> workload.
+        failures: optional failure model applied right after topology
+            construction (before traffic and tasks).
+        defaults: every legal parameter with its default value; overrides
+            naming any other key are rejected.
+        serve: how the sweep engine plays the workload — "sequential"
+            admits tasks one at a time (the Fig. 3 protocol, arrival
+            times ignored), "campaign" plays the full arrival timeline
+            on the simulation engine so bursts and contention matter.
+        tags: free-form labels (topology family, workload family).
+    """
+
+    name: str
+    description: str
+    topology: TopologyBuilder
+    workload: WorkloadBuilder
+    failures: Optional[LinkFailureModel] = None
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    serve: str = "sequential"
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or " " in self.name:
+            raise ConfigurationError(
+                f"scenario name must be non-empty without '/' or spaces, "
+                f"got {self.name!r}"
+            )
+        if self.serve not in ("sequential", "campaign"):
+            raise ConfigurationError(
+                f"serve must be 'sequential' or 'campaign', got {self.serve!r}"
+            )
+
+    def merge_params(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Defaults overlaid with ``overrides``; unknown keys rejected.
+
+        A numeric default accepts any numeric override; otherwise the
+        override must match the default's type (None defaults accept
+        anything).
+        """
+        merged = dict(self.defaults)
+        for key, value in (overrides or {}).items():
+            if key not in merged:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} has no parameter {key!r}; "
+                    f"valid: {sorted(merged)}"
+                )
+            default = merged[key]
+            if default is not None:
+                numeric = isinstance(default, (int, float)) and not isinstance(
+                    default, bool
+                )
+                if numeric:
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        raise ConfigurationError(
+                            f"scenario {self.name!r}: parameter {key!r} "
+                            f"expects a number, got {value!r}"
+                        )
+                    if isinstance(default, int) and isinstance(value, float):
+                        if not value.is_integer():
+                            raise ConfigurationError(
+                                f"scenario {self.name!r}: parameter {key!r} "
+                                f"expects an integer, got {value!r}"
+                            )
+                        value = int(value)
+                elif not isinstance(value, type(default)):
+                    raise ConfigurationError(
+                        f"scenario {self.name!r}: parameter {key!r} expects "
+                        f"{type(default).__name__}, got {value!r}"
+                    )
+            merged[key] = value
+        return merged
+
+    def instantiate(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        seed: int = 0,
+    ) -> ScenarioInstance:
+        """Build the deterministic instance for (params, seed)."""
+        merged = self.merge_params(params)
+        streams = RandomStreams(seed).fork(f"scenario:{self.name}")
+        network = self.topology(merged)
+        failed: Tuple[Tuple[str, str], ...] = ()
+        if self.failures is not None:
+            failed = self.failures.apply(network, streams.stream("failures"))
+        workload = self.workload(network, merged, streams)
+        return ScenarioInstance(
+            spec=self,
+            params=merged,
+            seed=seed,
+            network=network,
+            workload=workload,
+            streams=streams,
+            failed_links=failed,
+        )

@@ -1,0 +1,367 @@
+"""Parameter-grid expansion and the parallel sweep engine.
+
+A sweep names one or more registered scenarios, a parameter grid, and a
+seed list; the engine expands the cross product into :class:`RunKey`\\ s,
+fans the missing runs out over a ``multiprocessing`` pool, and collects
+everything into one :class:`~repro.experiments.results.ExperimentResult`.
+
+Three properties the tests pin down:
+
+* **Determinism** — every run derives its randomness from a
+  :class:`~repro.sim.rng.RandomStreams` fork of ``(scenario, seed)``, so
+  a 2-worker pool produces byte-identical rows to a serial run.
+* **Order independence** — rows are assembled in run-key order, not in
+  completion order.
+* **Resume** — with a ``cache_dir``, finished runs persist as one JSON
+  file each, keyed by a hash of (scenario, params, seed); a rerun loads
+  them instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import pickle
+import sys
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.fixed import FixedScheduler
+from ..core.flexible import FlexibleScheduler
+from ..errors import ConfigurationError
+from ..orchestrator.campaign import CampaignRunner
+from ..orchestrator.database import TaskStatus
+from ..orchestrator.orchestrator import Orchestrator
+from ..traffic.generator import TrafficGenerator
+from .registry import get_scenario, register
+from .spec import ScenarioInstance
+
+#: Parameter grid: name -> candidate values.
+Grid = Mapping[str, Sequence[Any]]
+#: One measurement row (mirrors repro.experiments.results.Row, which is
+#: imported lazily inside run_sweep to avoid a package-level cycle).
+Row = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """The identity of one sweep run: (scenario, params, seed).
+
+    ``params`` is stored as sorted items so keys are hashable, orderable,
+    and canonically serialisable.
+    """
+
+    scenario: str
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+
+    @classmethod
+    def make(cls, scenario: str, params: Mapping[str, Any], seed: int) -> "RunKey":
+        return cls(
+            scenario=scenario,
+            params=tuple(sorted(params.items())),
+            seed=int(seed),
+        )
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def canonical(self) -> str:
+        """A stable JSON encoding of the key (cache/cache-file identity)."""
+        return json.dumps(
+            {
+                "scenario": self.scenario,
+                "params": self.params_dict(),
+                "seed": self.seed,
+            },
+            sort_keys=True,
+            default=str,
+        )
+
+    def token(self) -> str:
+        """Filesystem-safe digest of :meth:`canonical`."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """What to sweep.
+
+    Attributes:
+        scenarios: registered scenario names (each validated up front).
+        grid: parameter name -> values; the cross product is taken.  Every
+            name must be a parameter of every swept scenario.
+        seeds: replication seeds; each grid point runs once per seed.
+    """
+
+    scenarios: Tuple[str, ...]
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    seeds: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ConfigurationError("a sweep needs at least one scenario")
+        if not self.seeds:
+            raise ConfigurationError("a sweep needs at least one seed")
+        for values in self.grid.values():
+            if not values:
+                raise ConfigurationError(
+                    "every grid dimension needs at least one value"
+                )
+
+
+def expand_grid(grid: Grid) -> List[Dict[str, Any]]:
+    """The cross product of a grid, in sorted-key lexicographic order.
+
+    An empty grid yields one empty parameter dict (the scenario defaults).
+    """
+    names = sorted(grid)
+    combos = itertools.product(*(grid[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def expand_runs(config: SweepConfig) -> List[RunKey]:
+    """Every RunKey of a sweep, validated against each scenario's params.
+
+    Keys carry the *merged* parameters (defaults overlaid with the grid
+    point), not just the overrides: merging validates unknown keys and
+    bad types up front, and it makes the resume-cache identity sensitive
+    to a scenario's defaults — edit a default and cached rows for the
+    old definition stop matching instead of being served silently.
+    """
+    keys: List[RunKey] = []
+    for name in config.scenarios:
+        spec = get_scenario(name)
+        for params in expand_grid(config.grid):
+            for seed in config.seeds:
+                keys.append(RunKey.make(name, spec.merge_params(params), seed))
+    return keys
+
+
+# ---------------------------------------------------------------------------
+# Executing one run
+# ---------------------------------------------------------------------------
+
+def _scalar(value: Any) -> Any:
+    """Parameters as row columns: keep JSON scalars, stringify the rest."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _orchestrator_for(instance: ScenarioInstance, scheduler) -> Orchestrator:
+    traffic = TrafficGenerator(instance.network, instance.streams)
+    traffic.inject_static(int(instance.params.get("background_flows", 0)))
+    return Orchestrator(instance.network, scheduler)
+
+
+def _serve(instance: ScenarioInstance, scheduler) -> Row:
+    """Serve the instance's workload one task at a time; aggregate metrics."""
+    orchestrator = _orchestrator_for(instance, scheduler)
+    round_ms: List[float] = []
+    bandwidth: List[float] = []
+    blocked = 0
+    for task in instance.workload:
+        record = orchestrator.admit(task)
+        if record.status is not TaskStatus.RUNNING:
+            blocked += 1
+            continue
+        report = orchestrator.evaluate(task.task_id)
+        round_ms.append(report.round_latency.total_ms)
+        bandwidth.append(report.consumed_bandwidth_gbps)
+        orchestrator.complete(task.task_id)
+    served = len(round_ms)
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return {
+        "scheduler": scheduler.name,
+        "served": served,
+        "blocked": blocked,
+        "round_ms": mean(round_ms),
+        "bandwidth_gbps": mean(bandwidth),
+        "failed_links": len(instance.failed_links),
+    }
+
+
+def _serve_campaign(instance: ScenarioInstance, scheduler) -> Row:
+    """Play the workload's full arrival timeline on the simulation engine.
+
+    Used for ``serve="campaign"`` scenarios (the bursty families): tasks
+    arrive at their generated times and contend for capacity, so burst
+    parameters actually shape the results — ``makespan_ms`` most of all.
+    """
+    orchestrator = _orchestrator_for(instance, scheduler)
+    outcome = CampaignRunner(orchestrator, instance.workload).run()
+    return {
+        "scheduler": scheduler.name,
+        "served": outcome.completed,
+        "blocked": outcome.blocked,
+        "round_ms": outcome.mean_round_ms,
+        "makespan_ms": outcome.makespan_ms,
+        "failed_links": len(instance.failed_links),
+    }
+
+
+def execute_run(key: RunKey) -> List[Row]:
+    """Run one (scenario, params, seed) under both schedulers.
+
+    Each scheduler gets a freshly instantiated scenario (identical seed,
+    hence identical network/failures/workload), mirroring the fig. 3
+    protocol.  Top-level so pool workers can unpickle it.
+    """
+    spec = get_scenario(key.scenario)
+    serve = _serve_campaign if spec.serve == "campaign" else _serve
+    prefix = {"scenario": key.scenario, "seed": key.seed}
+    prefix.update(
+        (name, _scalar(value)) for name, value in sorted(key.params)
+    )
+    rows: List[Row] = []
+    for scheduler in (FixedScheduler(), FlexibleScheduler()):
+        instance = spec.instantiate(key.params_dict(), seed=key.seed)
+        rows.append({**prefix, **serve(instance, scheduler)})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+def _init_worker(paths: List[str], pickled_specs: bytes) -> None:
+    """Prepare a pool worker: import paths plus non-builtin scenarios.
+
+    Fork-started workers inherit everything; spawn-started workers get a
+    fresh interpreter that only knows the built-in catalogue, so any
+    user-registered specs the sweep references ride along pickled.
+    """
+    for path in reversed(paths):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    for spec in pickle.loads(pickled_specs):
+        register(spec, replace=True)
+
+
+def _pool_context() -> Tuple[str, Any]:
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else "spawn"
+    return method, multiprocessing.get_context(method)
+
+
+def _cache_path(cache_dir: str, key: RunKey) -> str:
+    return os.path.join(cache_dir, f"run-{key.token()}.json")
+
+
+def _load_cached(cache_dir: str, key: RunKey) -> Optional[List[Row]]:
+    path = _cache_path(cache_dir, key)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("key") != key.canonical():
+        return None
+    rows = payload.get("rows")
+    return rows if isinstance(rows, list) else None
+
+
+def _store_cached(cache_dir: str, key: RunKey, rows: List[Row]) -> None:
+    os.makedirs(cache_dir, exist_ok=True)
+    payload = {"key": key.canonical(), "rows": rows}
+    path = _cache_path(cache_dir, key)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def run_sweep(
+    config: SweepConfig,
+    *,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    name: str = "sweep",
+) -> "ExperimentResult":
+    """Execute a sweep and collect every run's rows, in run-key order.
+
+    Args:
+        config: scenarios × grid × seeds to expand.
+        workers: pool size; ``1`` runs serially in-process.  Results are
+            identical either way — only wall-clock differs.
+        cache_dir: when given, finished runs are persisted there and
+            reruns load them instead of recomputing (resume-on-rerun).
+        name: the returned :class:`ExperimentResult`'s name.
+    """
+    from ..experiments.results import ExperimentResult
+
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    keys = expand_runs(config)
+    rows_by_key: Dict[RunKey, List[Row]] = {}
+    if cache_dir is not None:
+        for key in keys:
+            cached = _load_cached(cache_dir, key)
+            if cached is not None:
+                rows_by_key[key] = cached
+    missing = [key for key in keys if key not in rows_by_key]
+
+    if missing:
+        parallel = workers > 1 and len(missing) > 1
+        extra_specs: bytes = pickle.dumps([])
+        if parallel:
+            method, ctx = _pool_context()
+            if method != "fork":
+                # Spawn workers start from a fresh interpreter that only
+                # knows the built-in catalogue after import.  Ship every
+                # swept spec along (module-level callables pickle by
+                # reference); fall back to serial when one can't be
+                # pickled, e.g. a closure-built user scenario.
+                swept = {key.scenario: get_scenario(key.scenario) for key in missing}
+                try:
+                    extra_specs = pickle.dumps(list(swept.values()))
+                except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                    warnings.warn(
+                        f"sweep falls back to serial execution: a swept "
+                        f"scenario spec cannot be pickled for spawn-started "
+                        f"workers ({exc}); define its builders at module "
+                        f"level to enable the pool",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    parallel = False
+        if not parallel:
+            computed = [execute_run(key) for key in missing]
+        else:
+            with ctx.Pool(
+                processes=min(workers, len(missing)),
+                initializer=_init_worker,
+                initargs=(list(sys.path), extra_specs),
+            ) as pool:
+                computed = pool.map(execute_run, missing)
+        for key, rows in zip(missing, computed):
+            rows_by_key[key] = rows
+            if cache_dir is not None:
+                _store_cached(cache_dir, key, rows)
+
+    result = ExperimentResult(
+        name=name,
+        description=(
+            "scenario sweep over "
+            + ", ".join(config.scenarios)
+        ),
+        parameters={
+            "scenarios": list(config.scenarios),
+            "grid": {k: list(v) for k, v in sorted(config.grid.items())},
+            "seeds": list(config.seeds),
+        },
+    )
+    for key in keys:
+        for row in rows_by_key[key]:
+            result.add(**row)
+    return result

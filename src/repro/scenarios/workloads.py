@@ -1,0 +1,103 @@
+"""Workload builders for scenario specs.
+
+Each builder maps ``(network, params, streams)`` to a
+:class:`~repro.tasks.workload.TaskWorkload`.  ``uniform`` reuses the
+stock generator unchanged; ``pareto`` redraws per-task demands from a
+heavy-tailed Pareto distribution (flow *sizes* in real traffic are
+heavy-tailed, so a handful of elephant tasks dominate); ``bursty``
+redraws arrival times from a Poisson cluster process (arrivals come in
+correlated bursts rather than as a smooth stream).  Both redraws happen
+on dedicated named streams, so the placement/model draws stay identical
+to the uniform workload with the same seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from ..errors import ConfigurationError
+from ..network.graph import Network
+from ..sim.rng import RandomStreams
+from ..tasks.workload import TaskWorkload, WorkloadConfig, generate_workload
+
+
+def _base_config(params: Dict[str, Any]) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_tasks=params["n_tasks"],
+        n_locals=params["n_locals"],
+        demand_gbps=params["demand_gbps"],
+        rounds=params.get("rounds", 3),
+        mean_interarrival_ms=params.get("mean_interarrival_ms", 0.0),
+    )
+
+
+def uniform(
+    network: Network, params: Dict[str, Any], streams: RandomStreams
+) -> TaskWorkload:
+    """The stock generator: fixed demand, smooth Poisson arrivals."""
+    return generate_workload(network, _base_config(params), streams)
+
+
+def pareto(
+    network: Network, params: Dict[str, Any], streams: RandomStreams
+) -> TaskWorkload:
+    """Heavy-tailed per-task demands with mean ``demand_gbps``.
+
+    Demands follow Pareto(alpha) with the scale chosen so the mean stays
+    at ``demand_gbps``; ``demand_cap_gbps`` clips the extreme tail so a
+    single draw cannot exceed any physical link.
+    """
+    alpha = params.get("pareto_alpha", 1.8)
+    if alpha <= 1.0:
+        raise ConfigurationError(
+            f"pareto_alpha must be > 1 for a finite mean, got {alpha}"
+        )
+    cap = params.get("demand_cap_gbps", 80.0)
+    scale = params["demand_gbps"] * (alpha - 1.0) / alpha
+    base = generate_workload(network, _base_config(params), streams)
+    rng = streams.stream("workload/pareto-demand")
+    tasks = tuple(
+        dataclasses.replace(
+            task,
+            demand_gbps=round(min(cap, scale * rng.paretovariate(alpha)), 6),
+        )
+        for task in base
+    )
+    return TaskWorkload(tasks=tasks, config=base.config)
+
+
+def bursty(
+    network: Network, params: Dict[str, Any], streams: RandomStreams
+) -> TaskWorkload:
+    """Poisson cluster arrivals: quiet gaps separating tight task bursts.
+
+    Bursts of ``burst_size`` tasks arrive with exponential gaps of mean
+    ``mean_burst_gap_ms``; tasks inside a burst are spaced by mean
+    ``intra_burst_ms``.  This concentrates admission pressure, the regime
+    where schedulers actually compete for residual capacity.
+    """
+    burst_size = params.get("burst_size", 5)
+    if burst_size < 1:
+        raise ConfigurationError(f"burst_size must be >= 1, got {burst_size}")
+    gap_ms = params.get("mean_burst_gap_ms", 1_000.0)
+    intra_ms = params.get("intra_burst_ms", 5.0)
+    base = generate_workload(network, _base_config(params), streams)
+    rng = streams.stream("workload/burst-arrivals")
+    clock = 0.0
+    tasks = []
+    for index, task in enumerate(base):
+        if index % burst_size == 0:
+            clock += rng.expovariate(1.0 / gap_ms)
+        else:
+            clock += rng.expovariate(1.0 / intra_ms)
+        tasks.append(dataclasses.replace(task, arrival_ms=round(clock, 6)))
+    return TaskWorkload(tasks=tuple(tasks), config=base.config)
+
+
+#: Builder name -> callable, for CLI/docs introspection.
+WORKLOADS = {
+    "uniform": uniform,
+    "pareto": pareto,
+    "bursty": bursty,
+}

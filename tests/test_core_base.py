@@ -7,7 +7,7 @@ from repro.core.fixed import FixedScheduler
 from repro.core.flexible import FlexibleScheduler
 from repro.errors import SchedulingError
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 class TestPathAccessors:

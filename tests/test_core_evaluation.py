@@ -10,7 +10,7 @@ from repro.tasks.aitask import AITask
 from repro.tasks.models import MLModelSpec, get_model
 from repro.transport.protocols import RdmaTransport, TcpTransport
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 @pytest.fixture

@@ -11,7 +11,7 @@ from repro.network.node import NodeKind
 from repro.tasks.aitask import AITask
 from repro.tasks.models import MLModelSpec, get_model
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 def tiny_model():

@@ -8,7 +8,7 @@ from repro.network.topologies import dumbbell
 from repro.tasks.aitask import AITask
 from repro.tasks.models import get_model
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 class TestRouting:

@@ -11,7 +11,7 @@ from repro.tasks.aggregation import UploadAggregationPlan
 from repro.tasks.aitask import AITask
 from repro.tasks.models import get_model
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 class TestTrees:

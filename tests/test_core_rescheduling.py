@@ -7,7 +7,7 @@ from repro.core.rescheduling import ReschedulingPolicy
 from repro.errors import SchedulingError
 from repro.network.topologies import metro_mesh
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 @pytest.fixture

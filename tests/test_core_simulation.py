@@ -12,7 +12,7 @@ from repro.errors import SchedulingError
 from repro.network.topologies import metro_mesh, spine_leaf
 from repro.sim.engine import Simulator
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 def executed_and_analytic(net, scheduler, n_locals=6, config=None):

@@ -16,7 +16,7 @@ from repro.tasks.workload import WorkloadConfig, generate_workload
 from repro.traffic.generator import TrafficGenerator
 from repro.transport.protocols import RdmaTransport
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 class TestSequentialService:

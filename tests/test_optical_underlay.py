@@ -8,7 +8,7 @@ from repro.errors import ConfigurationError, TopologyError
 from repro.network.topologies import metro_mesh
 from repro.optical.underlay import OpticalUnderlay, metro_underlay, optical_ring
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 @pytest.fixture

@@ -12,7 +12,7 @@ from repro.orchestrator.taskmanager import AITaskManager
 from repro.sim.engine import Simulator
 from repro.tasks.selection import select_top_utility
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 class TestDatabase:

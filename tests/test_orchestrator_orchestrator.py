@@ -13,7 +13,7 @@ from repro.orchestrator.orchestrator import Orchestrator, build_servers_for
 from repro.tasks.aitask import AITask
 from repro.tasks.models import get_model
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 @pytest.fixture

@@ -12,7 +12,7 @@ from repro.sim.rng import RandomStreams
 from repro.tasks.workload import WorkloadConfig, generate_workload
 from repro.transport.protocols import TcpTransport
 
-from .conftest import make_mesh_task
+from tests.conftest import make_mesh_task
 
 
 class TestLargeRandomFabric:

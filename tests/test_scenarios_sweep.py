@@ -1,0 +1,277 @@
+"""Tests for the sweep engine: expansion, parallelism, caching, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.orchestrator import run_scenario
+from repro.scenarios import (
+    RunKey,
+    SweepConfig,
+    expand_grid,
+    expand_runs,
+    run_sweep,
+)
+from repro.scenarios import sweep as sweep_module
+
+
+def dataclasses_replace_name(spec, name):
+    import dataclasses
+
+    return dataclasses.replace(spec, name=name)
+
+#: A cheap sweep: 4 runs on the toy topology, both schedulers each.
+TOY_CONFIG = SweepConfig(
+    scenarios=("toy-triangle",),
+    grid={"demand_gbps": [5.0, 10.0]},
+    seeds=(0, 1),
+)
+
+
+class TestGridExpansion:
+    def test_empty_grid_is_one_point(self):
+        assert expand_grid({}) == [{}]
+
+    def test_cross_product_in_sorted_key_order(self):
+        combos = expand_grid({"b": [1, 2], "a": ["x"]})
+        assert combos == [{"a": "x", "b": 1}, {"a": "x", "b": 2}]
+
+    def test_expand_runs_counts(self):
+        keys = expand_runs(TOY_CONFIG)
+        assert len(keys) == 4  # 2 demands x 2 seeds
+        assert all(key.scenario == "toy-triangle" for key in keys)
+
+    def test_expand_runs_validates_params(self):
+        config = SweepConfig(
+            scenarios=("toy-triangle",), grid={"not_a_param": [1]}
+        )
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            expand_runs(config)
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepConfig(scenarios=("toy-triangle",), grid={"demand_gbps": []})
+
+    def test_run_key_canonical_is_stable(self):
+        a = RunKey.make("s", {"b": 2, "a": 1}, 3)
+        b = RunKey.make("s", {"a": 1, "b": 2}, 3)
+        assert a == b
+        assert a.canonical() == b.canonical()
+        assert a.token() == b.token()
+
+
+class TestSweepExecution:
+    def test_serial_rows_shape(self):
+        result = run_sweep(TOY_CONFIG)
+        assert len(result.rows) == 8  # 4 runs x 2 schedulers
+        assert {row["scheduler"] for row in result.rows} == {
+            "fixed-spff",
+            "flexible-mst",
+        }
+
+    def test_parallel_identical_to_serial(self):
+        serial = run_sweep(TOY_CONFIG, workers=1)
+        parallel = run_sweep(TOY_CONFIG, workers=2)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_rows_follow_run_key_order(self):
+        result = run_sweep(TOY_CONFIG)
+        demands = [row["demand_gbps"] for row in result.rows[::2]]
+        # demand-major, then seed: (5,s0) (5,s1) (10,s0) (10,s1)
+        assert demands == [5.0, 5.0, 10.0, 10.0]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(TOY_CONFIG, workers=0)
+
+
+class TestSweepCache:
+    def test_cache_files_written(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_sweep(TOY_CONFIG, cache_dir=cache)
+        files = sorted(os.listdir(cache))
+        assert len(files) == 4
+        payload = json.loads((tmp_path / "cache" / files[0]).read_text())
+        assert set(payload) == {"key", "rows"}
+
+    def test_rerun_hits_cache_without_recomputing(self, tmp_path, monkeypatch):
+        cache = str(tmp_path / "cache")
+        first = run_sweep(TOY_CONFIG, cache_dir=cache)
+
+        def boom(key):
+            raise AssertionError(f"cache miss for {key}")
+
+        monkeypatch.setattr(sweep_module, "execute_run", boom)
+        second = run_sweep(TOY_CONFIG, cache_dir=cache)
+        assert first.to_json() == second.to_json()
+
+    def test_partial_cache_computes_only_missing(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        small = SweepConfig(
+            scenarios=("toy-triangle",), grid={"demand_gbps": [5.0]}, seeds=(0,)
+        )
+        run_sweep(small, cache_dir=cache)
+        assert len(os.listdir(cache)) == 1
+        full = run_sweep(TOY_CONFIG, cache_dir=cache)
+        assert len(os.listdir(cache)) == 4
+        assert len(full.rows) == 8
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_sweep(TOY_CONFIG, cache_dir=str(cache))
+        victim = sorted(cache.iterdir())[0]
+        victim.write_text("{not json")
+        result = run_sweep(TOY_CONFIG, cache_dir=str(cache))
+        assert len(result.rows) == 8
+
+    def test_cache_invalidated_when_defaults_change(self, tmp_path):
+        import dataclasses
+
+        from repro.scenarios import get_scenario, register
+
+        cache = str(tmp_path / "cache")
+        config = SweepConfig(scenarios=("toy-triangle",))
+        original = get_scenario("toy-triangle")
+        try:
+            run_sweep(config, cache_dir=cache)
+            assert len(os.listdir(cache)) == 1
+            register(
+                dataclasses.replace(
+                    original, defaults={**original.defaults, "rounds": 2}
+                ),
+                replace=True,
+            )
+            result = run_sweep(config, cache_dir=cache)
+            # The edited default changes the run key, so the stale entry
+            # is not served and a fresh one is computed alongside it.
+            assert len(os.listdir(cache)) == 2
+            assert all(row["rounds"] == 2 for row in result.rows)
+        finally:
+            register(original, replace=True)
+
+    @pytest.mark.parametrize("payload", ["[]", '"x"', '{"key": "wrong"}'])
+    def test_valid_json_wrong_shape_recomputed(self, tmp_path, payload):
+        cache = tmp_path / "cache"
+        run_sweep(TOY_CONFIG, cache_dir=str(cache))
+        for victim in cache.iterdir():
+            victim.write_text(payload)
+        result = run_sweep(TOY_CONFIG, cache_dir=str(cache))
+        assert len(result.rows) == 8
+
+
+class TestCampaignServeMode:
+    def test_bursty_scenarios_report_makespan(self):
+        result = run_sweep(
+            SweepConfig(
+                scenarios=("fat-tree-bursty",), grid={"n_tasks": [6]}
+            )
+        )
+        assert all("makespan_ms" in row for row in result.rows)
+        assert all(row["makespan_ms"] > 0 for row in result.rows)
+
+    def test_burst_gap_changes_results(self):
+        def makespans(gap_ms):
+            result = run_sweep(
+                SweepConfig(
+                    scenarios=("fat-tree-bursty",),
+                    grid={"n_tasks": [6], "mean_burst_gap_ms": [gap_ms]},
+                )
+            )
+            return [row["makespan_ms"] for row in result.rows]
+
+        assert makespans(10.0) != makespans(10_000.0)
+
+
+class TestSpawnWorkerInit:
+    def test_init_worker_registers_shipped_specs(self):
+        import pickle
+
+        from repro.scenarios import get_scenario, unregister
+
+        spec = get_scenario("toy-triangle")
+        shipped = pickle.dumps(
+            [dataclasses_replace_name(spec, "shipped-toy")]
+        )
+        try:
+            sweep_module._init_worker([], shipped)
+            assert get_scenario("shipped-toy").description == spec.description
+        finally:
+            unregister("shipped-toy")
+
+
+class TestCampaignEntryPoint:
+    def test_run_scenario_by_name(self):
+        result = run_scenario("toy-triangle", seed=0)
+        assert result.completed == 1
+        assert result.blocked == 0
+        assert result.makespan_ms > 0
+
+    def test_run_scenario_validates_params(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario("toy-triangle", {"bogus": 1})
+
+
+class TestScenariosCli:
+    def test_list_prints_all_builtins(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) >= 10
+        assert "metro-mesh-uniform" in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["scenarios", "list", "--tag", "wan"]) == 0
+        out = capsys.readouterr().out
+        assert "nsfnet-wan" in out
+        assert "fat-tree-uniform" not in out
+
+    def test_dry_run_prints_expanded_keys(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "sweep",
+                    "toy-triangle",
+                    "--set",
+                    "demand_gbps=5,10",
+                    "--seeds",
+                    "0,1",
+                    "--dry-run",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 4
+
+    def test_sweep_runs_and_saves(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "sweep",
+                    "toy-triangle",
+                    "--set",
+                    "demand_gbps=10",
+                    "--save",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(path.read_text())
+        assert len(data["rows"]) == 2
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["scenarios", "sweep", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_set_syntax_fails_cleanly(self, capsys):
+        assert main(["scenarios", "sweep", "toy-triangle", "--set", "oops"]) == 2
+
+    def test_non_integer_seeds_fail_cleanly(self, capsys):
+        assert main(["scenarios", "sweep", "toy-triangle", "--seeds", "abc"]) == 2
+        assert "expects integers" in capsys.readouterr().err
