@@ -1,0 +1,28 @@
+"""Benchmark: fault-injected campaign sweeps.
+
+Times the resilience sweep (link-MTBF gradient on the metro mesh with
+live fail/repair injection) and asserts its qualitative shape: more
+churn — a shorter MTBF — can only lower availability, and every run
+reports the availability columns the accountant produces.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_resilience_sweep
+
+from benchmarks.conftest import run_once
+
+MTBFS = (20_000.0, 80_000.0)
+
+
+def test_bench_resilience_sweep(benchmark):
+    result = run_once(benchmark, run_resilience_sweep, MTBFS, n_tasks=8)
+    assert len(result.rows) == 4  # 2 MTBFs x 2 schedulers
+    for row in result.rows:
+        assert 0.0 < row["availability"] < 1.0
+        assert row["fault_events"] > 0
+    churned = [r for r in result.rows if r["link_mtbf_ms"] == MTBFS[0]]
+    calm = [r for r in result.rows if r["link_mtbf_ms"] == MTBFS[1]]
+    assert max(r["availability"] for r in churned) <= min(
+        r["availability"] for r in calm
+    )

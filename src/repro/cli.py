@@ -6,19 +6,24 @@ Runs any experiment from DESIGN.md §4 and prints its table, e.g.::
     repro abl-rdma --save rdma.json
     repro list
 
-The ``scenarios`` subcommand exposes the scenario registry and the
-parallel sweep engine::
+The ``scenarios`` subcommand exposes the scenario registry, the
+parallel sweep engine, and fault-profile introspection::
 
     repro scenarios list
-    repro scenarios list --tag wan
+    repro scenarios list --tag resilience
     repro scenarios sweep metro-mesh-uniform --set n_locals=3,6,9 \\
         --seeds 0,1 --workers 4 --cache-dir .sweep-cache --save out.json
+    repro scenarios sweep metro-mesh-flaky-links --jsonl rows.jsonl
     repro scenarios sweep fat-tree-uniform --dry-run
+    repro scenarios faults metro-mesh-flaky-links --seed 3 --events 10
 
 ``scenarios sweep`` expands the cross product of every ``--set``
 dimension and the seed list over the named scenarios, fans the runs out
 over ``--workers`` processes (results are byte-identical to a serial
-run), and resumes from ``--cache-dir`` when given.
+run), resumes from ``--cache-dir`` when given, and streams rows to
+``--jsonl`` as runs complete.  ``scenarios faults`` describes a
+scenario's fault profile and previews the deterministic fail/repair
+timeline it draws for a given seed.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from .experiments import (
     run_fig1,
     run_fig3a,
     run_fig3b,
+    run_resilience_sweep,
     run_rescheduling_ablation,
     run_selection_ablation,
     run_spineleaf_ablation,
@@ -63,6 +69,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "abl-simcheck": run_model_validation,
     "abl-optgap": run_optimality_gap,
     "abl-campaign": run_campaign_comparison,
+    "abl-resilience": run_resilience_sweep,
 }
 
 
@@ -138,9 +145,43 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--save", metavar="PATH", help="write result JSON to PATH")
     sweep.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="append each run's rows to this JSONL file as runs complete",
+    )
+    sweep.add_argument(
         "--dry-run",
         action="store_true",
         help="print the expanded run list without executing",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="describe a scenario's fault profile and preview its timeline",
+        description=(
+            "Shows the MTBF/MTTR fault processes a failure-aware scenario "
+            "carries and the deterministic fail/repair timeline they draw "
+            "for a given seed — the exact schedule a campaign run would "
+            "inject."
+        ),
+    )
+    faults.add_argument("scenario", help="a registered scenario name")
+    faults.add_argument(
+        "--seed", type=int, default=0, help="instance seed (default: 0)"
+    )
+    faults.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="one parameter override; repeatable",
+    )
+    faults.add_argument(
+        "--events",
+        type=int,
+        default=20,
+        help="timeline events to preview (default: 20)",
     )
     return parser
 
@@ -155,6 +196,61 @@ def _parse_scalar(text: str):
     return text
 
 
+def _faults_main(args) -> int:
+    """Describe a fault profile and preview its drawn timeline."""
+    from .errors import ConfigurationError
+    from .scenarios import get_scenario, list_scenarios
+
+    try:
+        spec = get_scenario(args.scenario)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if spec.fault_profile is None:
+        fault_aware = [
+            s.name for s in list_scenarios() if s.fault_profile is not None
+        ]
+        print(
+            f"error: scenario {spec.name!r} has no fault profile; "
+            f"fault-aware scenarios: {fault_aware}",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {}
+    for item in args.overrides:
+        if "=" not in item:
+            print(f"--set expects KEY=VALUE, got {item!r}", file=sys.stderr)
+            return 2
+        key, _, value = item.partition("=")
+        overrides[key] = _parse_scalar(value)
+    try:
+        instance = spec.instantiate(overrides, seed=args.seed)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    profile = spec.fault_profile.resolved(instance.params)
+    timeline = instance.fault_timeline
+    print(f"scenario {spec.name!r} (seed {args.seed})")
+    print(profile.describe())
+    print(
+        f"population: {timeline.link_candidates} links, "
+        f"{timeline.node_candidates} nodes"
+    )
+    print(
+        f"timeline: {timeline.fail_count} failures, "
+        f"{len(timeline.events)} transitions"
+    )
+    for event in timeline.events[: max(0, args.events)]:
+        print(
+            f"  t={event.time_ms:>12.3f} ms  {event.kind:<6} "
+            f"{event.component:<4} {'-'.join(event.subject)}"
+        )
+    remaining = len(timeline.events) - max(0, args.events)
+    if remaining > 0:
+        print(f"  ... {remaining} more (raise --events to see them)")
+    return 0
+
+
 def _scenarios_main(argv: List[str]) -> int:
     from .errors import ConfigurationError
     from .scenarios import SweepConfig, expand_runs, list_scenarios, run_sweep
@@ -167,6 +263,8 @@ def _scenarios_main(argv: List[str]) -> int:
             tags = ",".join(spec.tags)
             print(f"{spec.name:<{width}}  {spec.description}  [{tags}]")
         return 0
+    if args.command == "faults":
+        return _faults_main(args)
 
     grid = {}
     for item in args.grid:
@@ -191,7 +289,10 @@ def _scenarios_main(argv: List[str]) -> int:
                 print(key.canonical())
             return 0
         result = run_sweep(
-            config, workers=args.workers, cache_dir=args.cache_dir
+            config,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            jsonl_path=args.jsonl,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -35,7 +35,7 @@ from .extensions import (
 from .fig1 import run_fig1
 from .fig3 import Fig3Config, run_fig3, run_fig3a, run_fig3b
 from .results import ExperimentResult
-from .sweeps import run_fig1_sweep, run_fig3_sweep
+from .sweeps import run_fig1_sweep, run_fig3_sweep, run_resilience_sweep
 
 __all__ = [
     "run_baselines_comparison",
@@ -53,6 +53,7 @@ __all__ = [
     "run_fig3b",
     "run_fig1_sweep",
     "run_fig3_sweep",
+    "run_resilience_sweep",
     "run_rescheduling_ablation",
     "run_selection_ablation",
     "run_transport_ablation",

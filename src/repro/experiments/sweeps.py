@@ -76,3 +76,39 @@ def run_fig3_sweep(
         "scenario sweep engine"
     )
     return result
+
+
+def run_resilience_sweep(
+    link_mtbf_values: Sequence[float] = (20_000.0, 40_000.0, 80_000.0),
+    *,
+    n_tasks: int = 12,
+    seeds: Tuple[int, ...] = (0,),
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Fault intensity vs availability/interruption on the metro mesh.
+
+    Sweeps the link MTBF of the ``metro-mesh-flaky-links`` campaign:
+    shorter MTBF means more fail/repair churn, so ``availability`` falls
+    and ``tasks_interrupted`` / ``fault_blocks`` climb.  The comparison
+    of interest is how the two schedulers' ``fault_reschedules`` differ
+    — flexible trees give the repair loop more room to re-route.
+    """
+    result = run_sweep(
+        SweepConfig(
+            scenarios=("metro-mesh-flaky-links",),
+            grid={
+                "link_mtbf_ms": list(link_mtbf_values),
+                "n_tasks": [n_tasks],
+            },
+            seeds=seeds,
+        ),
+        workers=workers,
+        cache_dir=cache_dir,
+        name="resilience-sweep",
+    )
+    result.description = (
+        "availability and task interruption vs link MTBF under "
+        "fault-injected campaign serving"
+    )
+    return result

@@ -241,6 +241,54 @@ class Network:
         """Currently failed links in insertion order."""
         return [link for link in self._links.values() if link.failed]
 
+    def fail_node(self, name: str) -> Node:
+        """Take a device down: every incident link stops carrying traffic.
+
+        Incident links are marked via an endpoint-down *count* rather
+        than the span-failure flag, so node and link fault processes
+        compose: a span failed independently during the outage stays
+        failed after the node repairs, and a link between two down nodes
+        only recovers when both are back.  Failing an already-down node
+        is a no-op.
+        """
+        node = self.node(name)
+        if node.failed:
+            return node
+        node.failed = True
+        for neighbor in self._adjacency[name]:
+            self.link(name, neighbor).mark_endpoint_down()
+        return node
+
+    def restore_node(self, name: str) -> Node:
+        """Bring a downed device back; restoring an up node is a no-op."""
+        node = self.node(name)
+        if not node.failed:
+            return node
+        node.failed = False
+        for neighbor in self._adjacency[name]:
+            self.link(name, neighbor).mark_endpoint_up()
+        return node
+
+    def failed_nodes(self) -> List[Node]:
+        """Currently failed nodes in insertion order."""
+        return [node for node in self._nodes.values() if node.failed]
+
+    def inter_switch_links(self) -> List[Tuple[str, str]]:
+        """Sorted (u, v) pairs of links between switching devices.
+
+        Server attachment links are excluded — this is the canonical
+        eligibility rule shared by the static link-failure model and the
+        time-driven fault process: a dead attachment link just deletes
+        the server from the scenario (a placement question), and node
+        faults already model whole-server outages.
+        """
+        return sorted(
+            (link.u, link.v)
+            for link in self._links.values()
+            if self._nodes[link.u].kind is not NodeKind.SERVER
+            and self._nodes[link.v].kind is not NodeKind.SERVER
+        )
+
     def owners_on_link(self, u: str, v: str) -> List[str]:
         """Reservation owners (both directions) on one link, sorted."""
         link = self.link(u, v)

@@ -57,7 +57,8 @@ class Link:
             )
         self.u = u
         self.v = v
-        self.failed = False
+        self._forced_failed = False
+        self._endpoints_down = 0
         self.capacity_gbps = float(capacity_gbps)
         self.distance_km = float(distance_km)
         self._latency_ms = (
@@ -77,6 +78,34 @@ class Link:
     def latency_ms(self) -> float:
         """One-way propagation latency."""
         return self._latency_ms
+
+    @property
+    def failed(self) -> bool:
+        """Whether the link is out of service.
+
+        True when the span itself was failed *or* an endpoint node is
+        down (a link cannot carry traffic into a dead device).  The two
+        causes are tracked separately so overlapping faults compose: a
+        span failure during a node outage survives the node's repair.
+        """
+        return self._forced_failed or self._endpoints_down > 0
+
+    @failed.setter
+    def failed(self, value: bool) -> None:
+        """Set the span's own failure state (endpoint state is untouched)."""
+        self._forced_failed = bool(value)
+
+    def mark_endpoint_down(self) -> None:
+        """Record one endpoint node going down (counted, not idempotent)."""
+        self._endpoints_down += 1
+
+    def mark_endpoint_up(self) -> None:
+        """Record one endpoint node coming back."""
+        if self._endpoints_down <= 0:
+            raise ConfigurationError(
+                f"link {self.u}-{self.v}: endpoint repaired while none down"
+            )
+        self._endpoints_down -= 1
 
     @property
     def endpoints(self) -> Tuple[str, str]:

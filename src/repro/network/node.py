@@ -54,12 +54,15 @@ class Node:
             (``None`` defers to the kind).  Lets experiments model router
             nodes without attached compute.
         attrs: free-form metadata (coordinates, site name, ...).
+        failed: whether the device is down; managed through
+            :meth:`~repro.network.graph.Network.fail_node`.
     """
 
     name: str
     kind: NodeKind = NodeKind.ROUTER
     aggregation_capable: "bool | None" = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    failed: bool = False
 
     @property
     def can_aggregate(self) -> bool:

@@ -25,7 +25,8 @@ from .database import TaskStatus
 from .orchestrator import Orchestrator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..scenarios.spec import ScenarioSpec
+    from ..resilience.injector import FaultInjector
+    from ..scenarios.spec import ScenarioInstance, ScenarioSpec
 
 
 @dataclass
@@ -61,11 +62,15 @@ class CampaignResult:
         outcomes: per-task lifecycle records (admission order).
         makespan_ms: completion time of the last finishing task.
         blocked: tasks that never got admitted.
+        availability: per-run fault/availability metrics when a fault
+            injector played a timeline during the run (None otherwise);
+            see :meth:`repro.resilience.AvailabilityAccountant.metrics`.
     """
 
     outcomes: Dict[str, TaskOutcome]
     makespan_ms: float
     blocked: int
+    availability: Optional[Dict[str, float]] = None
 
     @property
     def completed(self) -> int:
@@ -95,6 +100,10 @@ class CampaignRunner:
             every period (requires a configured rescheduling policy);
             ``None`` disables the loop.
         predictor: optional iteration predictor fed with every round.
+        injector: optional :class:`~repro.resilience.FaultInjector`; its
+            fail/repair timeline is scheduled alongside the arrivals and
+            dispatched through the orchestrator's failure handlers, and
+            its availability metrics land on the result.
     """
 
     def __init__(
@@ -104,6 +113,7 @@ class CampaignRunner:
         *,
         reschedule_period_ms: Optional[float] = None,
         predictor: Optional[IterationPredictor] = None,
+        injector: "Optional[FaultInjector]" = None,
     ) -> None:
         if reschedule_period_ms is not None:
             if reschedule_period_ms <= 0:
@@ -118,6 +128,7 @@ class CampaignRunner:
         self._workload = workload
         self._period = reschedule_period_ms
         self._predictor = predictor
+        self._injector = injector
 
     def run(self, until: Optional[float] = None) -> CampaignResult:
         """Execute the campaign; returns once all work (or ``until``) ends."""
@@ -165,6 +176,9 @@ class CampaignRunner:
                 task.arrival_ms, lambda t=task: admit(t), name=f"admit:{task.task_id}"
             )
 
+        if self._injector is not None:
+            self._injector.attach(sim, orchestrator)
+
         if self._period is not None:
             def reschedule_loop():
                 while True:
@@ -179,11 +193,56 @@ class CampaignRunner:
         blocked = sum(
             1 for o in outcomes.values() if o.admitted_ms is None
         )
+        availability: Optional[Dict[str, float]] = None
+        if self._injector is not None:
+            self._injector.finalize(sim.now)
+            availability = self._injector.accountant.metrics()
         return CampaignResult(
             outcomes=outcomes,
             makespan_ms=max(finish_times) if finish_times else sim.now,
             blocked=blocked,
+            availability=availability,
         )
+
+
+def orchestrator_for(
+    instance: "ScenarioInstance", scheduler: Optional[Scheduler] = None
+) -> Orchestrator:
+    """An orchestrator on the instance's fabric with its background load.
+
+    The single wiring recipe shared by ``run_scenario`` and the sweep
+    engine, so both entry points serve identical state for the same
+    ``(scenario, params, seed)``.
+    """
+    # Imported lazily: repro.scenarios imports orchestrator machinery.
+    from ..core.flexible import FlexibleScheduler
+    from ..traffic.generator import TrafficGenerator
+
+    traffic = TrafficGenerator(instance.network, instance.streams)
+    traffic.inject_static(int(instance.params.get("background_flows", 0)))
+    return Orchestrator(instance.network, scheduler or FlexibleScheduler())
+
+
+def campaign_runner_for(
+    instance: "ScenarioInstance",
+    scheduler: Optional[Scheduler] = None,
+    *,
+    reschedule_period_ms: Optional[float] = None,
+) -> CampaignRunner:
+    """A campaign runner for the instance, fault injector included."""
+    from ..resilience.injector import FaultInjector
+
+    injector = (
+        FaultInjector(instance.fault_timeline)
+        if instance.fault_timeline is not None
+        else None
+    )
+    return CampaignRunner(
+        orchestrator_for(instance, scheduler),
+        instance.workload,
+        reschedule_period_ms=reschedule_period_ms,
+        injector=injector,
+    )
 
 
 def run_scenario(
@@ -199,8 +258,10 @@ def run_scenario(
 
     This is the scenario-registry entry point into the campaign runner:
     the spec (by name or object) is instantiated deterministically for
-    ``(params, seed)``, its background flows are injected, and its task
-    mix is admitted at the generated arrival times on simulated time.
+    ``(params, seed)``, its background flows are injected, its task mix
+    is admitted at the generated arrival times on simulated time, and —
+    when the spec carries a fault profile — its fail/repair timeline is
+    played through the orchestrator mid-campaign.
 
     Args:
         spec: a registered scenario name or a :class:`ScenarioSpec`.
@@ -210,19 +271,12 @@ def run_scenario(
         reschedule_period_ms / until: forwarded to the campaign runner.
     """
     # Imported lazily: repro.scenarios imports orchestrator machinery.
-    from ..core.flexible import FlexibleScheduler
     from ..scenarios.registry import get_scenario
-    from ..traffic.generator import TrafficGenerator
 
     if isinstance(spec, str):
         spec = get_scenario(spec)
     instance = spec.instantiate(params, seed=seed)
-    traffic = TrafficGenerator(instance.network, instance.streams)
-    traffic.inject_static(int(instance.params.get("background_flows", 0)))
-    orchestrator = Orchestrator(instance.network, scheduler or FlexibleScheduler())
-    runner = CampaignRunner(
-        orchestrator,
-        instance.workload,
-        reschedule_period_ms=reschedule_period_ms,
+    runner = campaign_runner_for(
+        instance, scheduler, reschedule_period_ms=reschedule_period_ms
     )
     return runner.run(until=until)

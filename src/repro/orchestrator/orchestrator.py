@@ -244,6 +244,8 @@ class Orchestrator:
             except SchedulingError:
                 # The prediction was made on a scratch copy; if the live
                 # network rejects, restore nothing and block the task.
+                # BLOCKED is terminal, so free its compute too.
+                self._destroy_containers(record.task)
                 record.status = TaskStatus.BLOCKED
                 record.schedule = None
                 continue
@@ -255,6 +257,10 @@ class Orchestrator:
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
+    def advance_clock(self, time_ms: float) -> None:
+        """Move the control-plane clock forward (event log timestamps)."""
+        self._clock_ms = max(self._clock_ms, time_ms)
+
     def handle_link_failure(self, u: str, v: str) -> Dict[str, bool]:
         """Fail a link and repair every running task routed across it.
 
@@ -282,6 +288,7 @@ class Orchestrator:
             try:
                 record.schedule = self.scheduler.schedule(record.task, self.network)
             except SchedulingError as exc:
+                self._destroy_containers(record.task)
                 record.schedule = None
                 record.status = TaskStatus.BLOCKED
                 outcomes[task_id] = False
@@ -299,6 +306,76 @@ class Orchestrator:
         """Bring a failed link back (re-optimisation is the policy's job)."""
         self.network.restore_link(u, v)
         self.database.log(self._clock_ms, f"link {u}-{v} restored")
+
+    def handle_node_failure(self, name: str) -> Dict[str, bool]:
+        """Take a device down and repair every running task it carried.
+
+        Tasks merely *routed* through the node are re-run through the
+        scheduler on the degraded topology, exactly like a link failure.
+        Tasks with a model endpoint *on* the node (its global or a local
+        model host) cannot survive the outage: their containers die with
+        the device, so they are torn down and marked BLOCKED.
+
+        Returns:
+            affected task id -> True if re-routed, False if blocked.
+        """
+        running = {r.task.task_id: r for r in self.database.running()}
+        affected = set()
+        for neighbor in self.network.neighbors(name):
+            affected.update(
+                owner
+                for owner in self.network.owners_on_link(name, neighbor)
+                if owner in running
+            )
+        hosted = {
+            task_id
+            for task_id, record in running.items()
+            if name == record.task.global_node
+            or name in record.task.local_nodes
+        }
+        affected |= hosted
+        self.network.fail_node(name)
+        self.database.log(
+            self._clock_ms,
+            f"node {name} failed; {len(affected)} tasks affected",
+        )
+        outcomes: Dict[str, bool] = {}
+        for task_id in sorted(affected):
+            record = running[task_id]
+            assert record.schedule is not None
+            self.scheduler.release(record.schedule, self.network)
+            self.sdn.remove(task_id)
+            if task_id in hosted:
+                self._destroy_containers(record.task)
+                record.schedule = None
+                record.status = TaskStatus.BLOCKED
+                outcomes[task_id] = False
+                self.database.log(
+                    self._clock_ms,
+                    f"{task_id}: blocked, model host {name} is down",
+                )
+                continue
+            try:
+                record.schedule = self.scheduler.schedule(record.task, self.network)
+            except SchedulingError as exc:
+                self._destroy_containers(record.task)
+                record.schedule = None
+                record.status = TaskStatus.BLOCKED
+                outcomes[task_id] = False
+                self.database.log(
+                    self._clock_ms, f"{task_id}: blocked after node failure: {exc}"
+                )
+                continue
+            self.sdn.install(record.schedule)
+            record.reschedules += 1
+            outcomes[task_id] = True
+            self.database.log(self._clock_ms, f"{task_id}: re-routed around {name}")
+        return outcomes
+
+    def handle_node_restore(self, name: str) -> None:
+        """Bring a downed device back into service."""
+        self.network.restore_node(name)
+        self.database.log(self._clock_ms, f"node {name} restored")
 
     # ------------------------------------------------------------------
     # Batch driving

@@ -1,0 +1,54 @@
+"""Resilience subsystem: fault injection, repair, and availability.
+
+The static :class:`~repro.scenarios.failures.LinkFailureModel` degrades a
+fabric once at t=0; this package makes failure *dynamics* first-class:
+
+* :class:`FaultProfile` — MTBF/MTTR fault processes for links and nodes
+  under exponential or deterministic inter-event laws;
+* :func:`build_timeline` / :class:`FaultTimeline` — the profile drawn
+  into a deterministic fail/repair schedule for one network instance;
+* :class:`FaultInjector` — plays a timeline on the simulation engine,
+  dispatching through the orchestrator's failure handlers so affected
+  tasks are re-scheduled (or blocked) mid-campaign;
+* :class:`AvailabilityAccountant` — reduces the run to availability /
+  downtime / interruption / time-to-recover metrics carried by sweep
+  rows.
+
+Quick tour::
+
+    from repro.resilience import FaultProfile, FaultInjector, build_timeline
+
+    profile = FaultProfile(link_mtbf_ms=5_000.0, link_mttr_ms=1_000.0)
+    timeline = build_timeline(profile, network, streams.stream("faults"))
+    injector = FaultInjector(timeline)
+    # CampaignRunner(orchestrator, workload, injector=injector).run()
+    print(injector.accountant.metrics())
+"""
+
+from .accounting import AvailabilityAccountant
+from .injector import FaultInjector
+from .processes import (
+    FAIL,
+    REPAIR,
+    FaultEvent,
+    FaultTimeline,
+    build_timeline,
+    link_candidates,
+    node_candidates,
+)
+from .profile import LAWS, TUNABLE_FIELDS, FaultProfile
+
+__all__ = [
+    "FAIL",
+    "REPAIR",
+    "LAWS",
+    "TUNABLE_FIELDS",
+    "AvailabilityAccountant",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultTimeline",
+    "build_timeline",
+    "link_candidates",
+    "node_candidates",
+]

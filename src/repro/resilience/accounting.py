@@ -1,0 +1,139 @@
+"""Availability accounting for fault-injected runs.
+
+The accountant observes every transition the injector applies and every
+task outcome the orchestrator reports, then reduces them to the per-run
+metrics sweep rows carry: component downtime, availability, interrupted
+tasks, reschedule successes/blocks, and observed time-to-recover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import SimulationError
+
+
+class AvailabilityAccountant:
+    """Accumulates fault/repair observations into per-run metrics.
+
+    Args:
+        link_population: links the fault process covers (availability
+            denominator together with ``node_population``).
+        node_population: nodes the fault process covers.
+        horizon_ms: the fault-generation horizon; used as the component-
+            time denominator when the run ends earlier.
+    """
+
+    def __init__(
+        self,
+        link_population: int,
+        node_population: int,
+        horizon_ms: float,
+    ) -> None:
+        if horizon_ms <= 0:
+            raise SimulationError(f"horizon_ms must be > 0, got {horizon_ms}")
+        self._populations = {"link": link_population, "node": node_population}
+        self._horizon_ms = horizon_ms
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear every observation; populations and horizon are kept.
+
+        One accountant instance serves one run at a time — the injector
+        resets it on each attach so a re-run starts a fresh epoch
+        instead of accumulating across runs.
+        """
+        self._down_since: Dict[Tuple[str, Tuple[str, ...]], float] = {}
+        self._downtime_ms = {"link": 0.0, "node": 0.0}
+        self._fail_events = {"link": 0, "node": 0}
+        self._recover_ms: List[float] = []
+        self._interrupted_task_ids: set = set()
+        self._fault_reschedules = 0
+        self._fault_blocks = 0
+        self._finalized_at: "float | None" = None
+
+    # ------------------------------------------------------------------
+    # Observations (called by the injector)
+    # ------------------------------------------------------------------
+    def on_fail(
+        self, component: str, subject: Tuple[str, ...], time_ms: float
+    ) -> None:
+        key = (component, subject)
+        if key in self._down_since:
+            raise SimulationError(f"{component} {subject} failed twice")
+        self._down_since[key] = time_ms
+        self._fail_events[component] += 1
+
+    def on_repair(
+        self, component: str, subject: Tuple[str, ...], time_ms: float
+    ) -> None:
+        key = (component, subject)
+        down_at = self._down_since.pop(key, None)
+        if down_at is None:
+            raise SimulationError(f"{component} {subject} repaired while up")
+        self._downtime_ms[component] += time_ms - down_at
+        self._recover_ms.append(time_ms - down_at)
+
+    def on_task_outcomes(self, outcomes: Mapping[str, bool]) -> None:
+        """Record one failure event's task repairs (True) and blocks.
+
+        Reschedules and blocks count *events* (each repair attempt), but
+        a task hit by several successive faults is one interrupted task.
+        """
+        self._interrupted_task_ids.update(outcomes)
+        repaired = sum(1 for ok in outcomes.values() if ok)
+        self._fault_reschedules += repaired
+        self._fault_blocks += len(outcomes) - repaired
+
+    def finalize(self, end_ms: float) -> None:
+        """Close the observation window at ``min(end_ms, horizon)``.
+
+        The window is clamped to the fault horizon so availability stays
+        comparable across runs of different lengths: a campaign that
+        outlasts the horizon adds only guaranteed-up time (no faults are
+        drawn out there), and a run cut short simply wasn't observed
+        beyond its end.  Components still down at the window edge are
+        charged up to it — their repair either fell past the horizon
+        (dropped at draw time) or past the cut.
+        """
+        window = max(0.0, min(end_ms, self._horizon_ms))
+        for (component, _subject), down_at in self._down_since.items():
+            self._downtime_ms[component] += max(0.0, window - down_at)
+        self._down_since.clear()
+        self._finalized_at = window
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, float]:
+        """The per-run availability metrics, as flat row columns.
+
+        ``availability`` is component-time up over component-time total
+        across the covered population inside the observation window; 1.0
+        when nothing ever failed.  ``tasks_interrupted`` counts distinct
+        tasks; ``fault_reschedules``/``fault_blocks`` count repair
+        events (one task can contribute several).
+        """
+        span = self._finalized_at if self._finalized_at is not None else self._horizon_ms
+        component_time = sum(
+            population * span for population in self._populations.values()
+        )
+        downtime = sum(self._downtime_ms.values())
+        availability = (
+            1.0 - downtime / component_time if component_time > 0 else 1.0
+        )
+        mttr = (
+            sum(self._recover_ms) / len(self._recover_ms)
+            if self._recover_ms
+            else 0.0
+        )
+        return {
+            "fault_events": float(sum(self._fail_events.values())),
+            "link_downtime_ms": self._downtime_ms["link"],
+            "node_downtime_ms": self._downtime_ms["node"],
+            "availability": availability,
+            "tasks_interrupted": float(len(self._interrupted_task_ids)),
+            "fault_reschedules": float(self._fault_reschedules),
+            "fault_blocks": float(self._fault_blocks),
+            "mean_time_to_recover_ms": mttr,
+        }

@@ -1,0 +1,165 @@
+"""Fault timelines: pre-drawn fail/repair event sequences.
+
+The timeline is generated *ahead of time* from one dedicated RNG rather
+than drawn lazily while the simulation runs: pre-drawing makes the fault
+schedule a pure function of ``(profile, network, stream)`` — byte-
+identical in any process, independent of how simulation events happen to
+interleave — which is what lets fault-injected sweep rows stay
+deterministic across worker pools.
+
+Per component the sequence alternates ``fail`` → ``repair`` with
+intervals drawn from the profile's law; components are visited in sorted
+order so the draw order (and hence the timeline) is stable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..network.graph import Network
+from .profile import FaultProfile
+
+#: Event kinds.
+FAIL = "fail"
+REPAIR = "repair"
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled transition of one component.
+
+    Attributes:
+        time_ms: absolute simulated time of the transition.
+        component: ``"link"`` or ``"node"``.
+        subject: ``(u, v)`` for a link, ``(name,)`` for a node.
+        kind: ``"fail"`` or ``"repair"``.
+    """
+
+    time_ms: float
+    component: str
+    subject: Tuple[str, ...]
+    kind: str
+
+    def label(self) -> str:
+        return f"{self.component}:{'-'.join(self.subject)}"
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """A fully drawn fault schedule plus the population it covers.
+
+    Attributes:
+        events: time-ordered transitions.
+        link_candidates: links the profile could have failed.
+        node_candidates: nodes the profile could have failed.
+        horizon_ms: the generation horizon (availability denominator).
+    """
+
+    events: Tuple[FaultEvent, ...]
+    link_candidates: int
+    node_candidates: int
+    horizon_ms: float
+
+    @property
+    def fail_count(self) -> int:
+        return sum(1 for event in self.events if event.kind == FAIL)
+
+
+def _draw(law: str, rng: random.Random, mean_ms: float) -> float:
+    if law == "deterministic":
+        return mean_ms
+    return rng.expovariate(1.0 / mean_ms)
+
+
+def _component_events(
+    subject: Tuple[str, ...],
+    component: str,
+    law: str,
+    rng: random.Random,
+    mtbf_ms: float,
+    mttr_ms: float,
+    horizon_ms: float,
+    phase: float,
+) -> List[FaultEvent]:
+    """Alternating fail/repair transitions for one component.
+
+    ``phase`` in (0, 1] scales only the *first* MTBF interval under the
+    deterministic law, staggering components so maintenance windows roll
+    across the fabric instead of failing everything at one instant
+    (exponential draws are memoryless and need no stagger).  Repairs
+    that would land beyond the horizon are dropped together with every
+    later transition — the component stays down and the accountant
+    charges the tail as downtime.
+    """
+    events: List[FaultEvent] = []
+    clock = mtbf_ms * phase if law == "deterministic" else _draw(law, rng, mtbf_ms)
+    while True:
+        if clock > horizon_ms:
+            return events
+        events.append(FaultEvent(clock, component, subject, FAIL))
+        clock += _draw(law, rng, mttr_ms)
+        if clock > horizon_ms:
+            return events
+        events.append(FaultEvent(clock, component, subject, REPAIR))
+        clock += _draw(law, rng, mtbf_ms)
+
+
+def link_candidates(network: Network) -> List[Tuple[str, str]]:
+    """Links eligible to fail: the network's inter-switch spans.
+
+    Delegates to :meth:`~repro.network.graph.Network.inter_switch_links`
+    — the same population the static
+    :class:`~repro.scenarios.failures.LinkFailureModel` draws from.
+    """
+    return network.inter_switch_links()
+
+
+def node_candidates(network: Network, kinds: Tuple[str, ...]) -> List[str]:
+    """Nodes eligible to fail, sorted by name."""
+    wanted = set(kinds)
+    return sorted(
+        node.name for node in network.nodes() if node.kind.value in wanted
+    )
+
+
+def build_timeline(
+    profile: FaultProfile, network: Network, rng: random.Random
+) -> FaultTimeline:
+    """Draw the full fault schedule for one scenario instance.
+
+    Components are visited in sorted order (links first) so every draw
+    comes off ``rng`` at a fixed position — the timeline is a pure
+    function of its inputs.
+    """
+    events: List[FaultEvent] = []
+    links = link_candidates(network) if profile.link_mtbf_ms is not None else []
+    for index, (u, v) in enumerate(links):
+        events.extend(
+            _component_events(
+                (u, v), "link", profile.law, rng,
+                profile.link_mtbf_ms, profile.link_mttr_ms, profile.horizon_ms,
+                phase=(index + 1) / len(links),
+            )
+        )
+    nodes = (
+        node_candidates(network, profile.node_kinds)
+        if profile.node_mtbf_ms is not None
+        else []
+    )
+    for index, name in enumerate(nodes):
+        events.extend(
+            _component_events(
+                (name,), "node", profile.law, rng,
+                profile.node_mtbf_ms, profile.node_mttr_ms, profile.horizon_ms,
+                phase=(index + 1) / len(nodes),
+            )
+        )
+    events.sort()
+    return FaultTimeline(
+        events=tuple(events),
+        link_candidates=len(links),
+        node_candidates=len(nodes),
+        horizon_ms=profile.horizon_ms,
+    )

@@ -1,0 +1,131 @@
+"""Fault profiles: the declarative description of a failure regime.
+
+A :class:`FaultProfile` says *how often* links and nodes break and *how
+long* repairs take — MTBF/MTTR pairs per component class under an
+inter-event law (exponential for memoryless faults, deterministic for
+maintenance-window style outages).  Profiles are frozen and picklable so
+they can ride on :class:`~repro.scenarios.spec.ScenarioSpec` into sweep
+worker pools; per-instance parameter overrides go through
+:meth:`FaultProfile.resolved`, which lets a sweep grid vary fault
+intensity like any other scenario parameter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from ..errors import ConfigurationError
+
+#: Inter-event laws a profile may name.
+LAWS = ("exponential", "deterministic")
+
+#: Profile fields a scenario parameter dict may override (all numeric).
+TUNABLE_FIELDS = (
+    "link_mtbf_ms",
+    "link_mttr_ms",
+    "node_mtbf_ms",
+    "node_mttr_ms",
+    "horizon_ms",
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """MTBF/MTTR fault processes for links and nodes.
+
+    Attributes:
+        link_mtbf_ms: mean time between failures per link; ``None``
+            disables the link fault process.
+        link_mttr_ms: mean time to repair a failed link.
+        node_mtbf_ms: mean time between failures per node; ``None``
+            disables the node fault process.
+        node_mttr_ms: mean time to repair a failed node.
+        law: inter-event law — ``"exponential"`` draws intervals from an
+            exponential distribution with the configured mean,
+            ``"deterministic"`` uses the mean verbatim (maintenance-
+            window style).
+        horizon_ms: faults are generated inside ``[0, horizon_ms]``; a
+            component whose repair would land beyond the horizon stays
+            down (truncation, accounted as downtime until run end).
+        node_kinds: node-kind values eligible to fail (matched against
+            :class:`~repro.network.node.NodeKind` values).
+    """
+
+    link_mtbf_ms: "float | None" = None
+    link_mttr_ms: float = 1_000.0
+    node_mtbf_ms: "float | None" = None
+    node_mttr_ms: float = 2_000.0
+    law: str = "exponential"
+    horizon_ms: float = 60_000.0
+    node_kinds: Tuple[str, ...] = ("server", "roadm")
+
+    def __post_init__(self) -> None:
+        if self.law not in LAWS:
+            raise ConfigurationError(
+                f"fault law must be one of {LAWS}, got {self.law!r}"
+            )
+        if self.link_mtbf_ms is None and self.node_mtbf_ms is None:
+            raise ConfigurationError(
+                "a fault profile needs at least one of link_mtbf_ms / "
+                "node_mtbf_ms"
+            )
+        for name in ("link_mtbf_ms", "node_mtbf_ms"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name} must be > 0, got {value}")
+        for name in ("link_mttr_ms", "node_mttr_ms"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be > 0, got {value}")
+        if self.horizon_ms <= 0:
+            raise ConfigurationError(
+                f"horizon_ms must be > 0, got {self.horizon_ms}"
+            )
+        if not self.node_kinds:
+            raise ConfigurationError("node_kinds must not be empty")
+
+    def resolved(self, params: Mapping[str, Any]) -> "FaultProfile":
+        """This profile with any :data:`TUNABLE_FIELDS` found in ``params``.
+
+        Only fields the profile already *enables* are overridden: a
+        ``link_mtbf_ms`` parameter on a node-only profile is ignored
+        rather than silently switching on a second fault process.
+        """
+        overrides = {}
+        for name in TUNABLE_FIELDS:
+            if name not in params:
+                continue
+            if getattr(self, name) is None:
+                continue
+            value = params[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"fault profile override {name!r} expects a number, "
+                    f"got {value!r}"
+                )
+            overrides[name] = float(value)
+        if not overrides:
+            return self
+        return dataclasses.replace(self, **overrides)
+
+    def describe(self) -> str:
+        """A multi-line human-readable summary (CLI ``scenarios faults``)."""
+        lines = [f"law={self.law}  horizon={self.horizon_ms:.0f} ms"]
+        if self.link_mtbf_ms is not None:
+            lines.append(
+                f"links: MTBF={self.link_mtbf_ms:.0f} ms  "
+                f"MTTR={self.link_mttr_ms:.0f} ms"
+            )
+        else:
+            lines.append("links: never fail")
+        if self.node_mtbf_ms is not None:
+            lines.append(
+                f"nodes: MTBF={self.node_mtbf_ms:.0f} ms  "
+                f"MTTR={self.node_mttr_ms:.0f} ms  "
+                f"kinds={','.join(self.node_kinds)}"
+            )
+        else:
+            lines.append("nodes: never fail")
+        return "\n".join(lines)

@@ -28,6 +28,7 @@ Quick tour::
 Importing the package registers the built-in catalogue.
 """
 
+from ..resilience.profile import FaultProfile
 from .builtin import register_builtin_scenarios
 from .failures import LinkFailureModel
 from .registry import get_scenario, list_scenarios, register, unregister
@@ -45,6 +46,7 @@ from .workloads import WORKLOADS
 register_builtin_scenarios()
 
 __all__ = [
+    "FaultProfile",
     "LinkFailureModel",
     "RunKey",
     "ScenarioInstance",

@@ -1,10 +1,11 @@
 """The built-in scenario catalogue.
 
-Twelve scenarios spanning every topology family (metro ring/mesh,
+Fifteen scenarios spanning every topology family (metro ring/mesh,
 spine-leaf, NSFNET WAN, scale-free, fat-tree) crossed with the three
 workload families (uniform, heavy-tailed Pareto demands, bursty
-arrivals) and link failures.  Importing :mod:`repro.scenarios` registers
-all of them; sweeps reference them by name.
+arrivals), static link failures, and time-driven fault injection (the
+``resilience``-tagged campaigns).  Importing :mod:`repro.scenarios`
+registers all of them; sweeps reference them by name.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from typing import Any, Dict
 
 from ..network import topologies
 from ..network.graph import Network
+from ..resilience.profile import FaultProfile
 from ..sim.rng import RandomStreams
 from ..tasks.aitask import AITask
 from ..tasks.models import get_model
@@ -29,6 +31,28 @@ _WORKLOAD_DEFAULTS: Dict[str, Any] = {
     "demand_gbps": 10.0,
     "rounds": 3,
     "background_flows": 20,
+}
+
+#: Fault-process numbers for the failure-aware campaigns.  Each dict
+#: seeds BOTH the spec's FaultProfile and its parameter defaults, so
+#: the profile and the sweepable knobs can never drift apart
+#: (``FaultProfile.resolved`` overrides profile fields from params).
+_FLAKY_LINK_FAULTS: Dict[str, float] = {
+    "link_mtbf_ms": 60_000.0,
+    "link_mttr_ms": 8_000.0,
+    "horizon_ms": 120_000.0,
+}
+_NODE_OUTAGE_FAULTS: Dict[str, float] = {
+    "node_mtbf_ms": 150_000.0,
+    "node_mttr_ms": 8_000.0,
+    "horizon_ms": 120_000.0,
+}
+_MAINTENANCE_FAULTS: Dict[str, float] = {
+    "link_mtbf_ms": 8_000.0,
+    "link_mttr_ms": 2_000.0,
+    "node_mtbf_ms": 13_000.0,
+    "node_mttr_ms": 2_000.0,
+    "horizon_ms": 20_000.0,
 }
 
 
@@ -243,6 +267,63 @@ def register_builtin_scenarios() -> None:
             },
             serve="campaign",
             tags=("datacenter", "bursty"),
+        ),
+        # --- failure-aware campaigns (time-driven fault injection) ----
+        ScenarioSpec(
+            name="metro-mesh-flaky-links",
+            description="metro mesh campaign with stochastic span fail/repair",
+            topology=_metro_mesh,
+            workload=workloads.uniform,
+            fault_profile=FaultProfile(**_FLAKY_LINK_FAULTS),
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "n_sites": 16,
+                "servers_per_site": 2,
+                "rounds": 8,
+                "mean_interarrival_ms": 400.0,
+                **_FLAKY_LINK_FAULTS,
+            },
+            serve="campaign",
+            tags=("metro", "uniform", "failures", "resilience"),
+        ),
+        ScenarioSpec(
+            name="nsfnet-node-outages",
+            description="NSFNET campaign with node (server+router) outages",
+            topology=_nsfnet,
+            workload=workloads.uniform,
+            fault_profile=FaultProfile(
+                **_NODE_OUTAGE_FAULTS, node_kinds=("server", "router")
+            ),
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "servers_per_site": 2,
+                "rounds": 8,
+                "mean_interarrival_ms": 400.0,
+                **_NODE_OUTAGE_FAULTS,
+            },
+            serve="campaign",
+            tags=("wan", "uniform", "failures", "resilience"),
+        ),
+        ScenarioSpec(
+            name="metro-roadm-maintenance",
+            description="metro mesh under deterministic ROADM+span maintenance",
+            topology=_metro_mesh,
+            workload=workloads.uniform,
+            fault_profile=FaultProfile(
+                **_MAINTENANCE_FAULTS,
+                law="deterministic",
+                node_kinds=("roadm",),
+            ),
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "n_sites": 16,
+                "servers_per_site": 2,
+                "rounds": 8,
+                "mean_interarrival_ms": 700.0,
+                **_MAINTENANCE_FAULTS,
+            },
+            serve="campaign",
+            tags=("metro", "uniform", "failures", "resilience", "optical"),
         ),
     )
     for spec in specs:

@@ -9,12 +9,12 @@ independent of workload randomness.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..errors import ConfigurationError
 from ..network.graph import Network
-from ..network.node import NodeKind
 
 
 @dataclass(frozen=True)
@@ -39,12 +39,15 @@ class LinkFailureModel:
 
     def apply(self, network: Network, rng: random.Random) -> Tuple[Tuple[str, str], ...]:
         """Fail links in ``network``; returns the failed (u, v) pairs."""
-        candidates: List[Tuple[str, str]] = sorted(
-            (link.u, link.v)
-            for link in network.links()
-            if network.node(link.u).kind is not NodeKind.SERVER
-            and network.node(link.v).kind is not NodeKind.SERVER
-        )
+        candidates: List[Tuple[str, str]] = network.inter_switch_links()
+        if self.n_failures > len(candidates):
+            warnings.warn(
+                f"LinkFailureModel: requested {self.n_failures} failures "
+                f"but only {len(candidates)} inter-switch links exist; "
+                f"failing all {len(candidates)}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         chosen = rng.sample(candidates, min(self.n_failures, len(candidates)))
         for u, v in chosen:
             network.fail_link(u, v)

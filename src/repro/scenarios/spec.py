@@ -15,6 +15,8 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..network.graph import Network
+from ..resilience.processes import FaultTimeline, build_timeline
+from ..resilience.profile import FaultProfile
 from ..sim.rng import RandomStreams
 from ..tasks.workload import TaskWorkload
 from .failures import LinkFailureModel
@@ -37,6 +39,10 @@ class ScenarioInstance:
         workload: the generated task mix.
         streams: the instance's random streams (for background traffic).
         failed_links: links the failure model took down, if any.
+        fault_timeline: the drawn fail/repair schedule when the spec
+            carries a :class:`~repro.resilience.profile.FaultProfile`.
+        metadata: instance bookkeeping (e.g. requested vs applied static
+            failures, drawn fault-event count).
     """
 
     spec: "ScenarioSpec"
@@ -46,6 +52,8 @@ class ScenarioInstance:
     workload: TaskWorkload
     streams: RandomStreams
     failed_links: Tuple[Tuple[str, str], ...] = ()
+    fault_timeline: Optional[FaultTimeline] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,11 @@ class ScenarioSpec:
         workload: builder mapping (network, params, streams) -> workload.
         failures: optional failure model applied right after topology
             construction (before traffic and tasks).
+        fault_profile: optional time-driven fault processes (MTBF/MTTR
+            link and node failures) played while a campaign serves the
+            workload; requires ``serve="campaign"``.  Profile fields
+            named in the parameter dict (``link_mtbf_ms``, ...) are
+            swept like any other parameter.
         defaults: every legal parameter with its default value; overrides
             naming any other key are rejected.
         serve: how the sweep engine plays the workload — "sequential"
@@ -73,6 +86,7 @@ class ScenarioSpec:
     topology: TopologyBuilder
     workload: WorkloadBuilder
     failures: Optional[LinkFailureModel] = None
+    fault_profile: Optional[FaultProfile] = None
     defaults: Mapping[str, Any] = field(default_factory=dict)
     serve: str = "sequential"
     tags: Tuple[str, ...] = ()
@@ -86,6 +100,11 @@ class ScenarioSpec:
         if self.serve not in ("sequential", "campaign"):
             raise ConfigurationError(
                 f"serve must be 'sequential' or 'campaign', got {self.serve!r}"
+            )
+        if self.fault_profile is not None and self.serve != "campaign":
+            raise ConfigurationError(
+                f"scenario {self.name!r}: a fault_profile is time-driven "
+                "and requires serve='campaign'"
             )
 
     def merge_params(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
@@ -138,10 +157,20 @@ class ScenarioSpec:
         merged = self.merge_params(params)
         streams = RandomStreams(seed).fork(f"scenario:{self.name}")
         network = self.topology(merged)
+        metadata: Dict[str, Any] = {}
         failed: Tuple[Tuple[str, str], ...] = ()
         if self.failures is not None:
             failed = self.failures.apply(network, streams.stream("failures"))
+            metadata["failures_requested"] = self.failures.n_failures
+            metadata["failures_applied"] = len(failed)
         workload = self.workload(network, merged, streams)
+        timeline: Optional[FaultTimeline] = None
+        if self.fault_profile is not None:
+            profile = self.fault_profile.resolved(merged)
+            timeline = build_timeline(
+                profile, network, streams.stream("fault-timeline")
+            )
+            metadata["fault_events_drawn"] = timeline.fail_count
         return ScenarioInstance(
             spec=self,
             params=merged,
@@ -150,4 +179,6 @@ class ScenarioSpec:
             workload=workload,
             streams=streams,
             failed_links=failed,
+            fault_timeline=timeline,
+            metadata=metadata,
         )

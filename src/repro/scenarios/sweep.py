@@ -33,10 +33,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..core.fixed import FixedScheduler
 from ..core.flexible import FlexibleScheduler
 from ..errors import ConfigurationError
-from ..orchestrator.campaign import CampaignRunner
+from ..orchestrator.campaign import campaign_runner_for, orchestrator_for
 from ..orchestrator.database import TaskStatus
-from ..orchestrator.orchestrator import Orchestrator
-from ..traffic.generator import TrafficGenerator
 from .registry import get_scenario, register
 from .spec import ScenarioInstance
 
@@ -153,15 +151,9 @@ def _scalar(value: Any) -> Any:
     return str(value)
 
 
-def _orchestrator_for(instance: ScenarioInstance, scheduler) -> Orchestrator:
-    traffic = TrafficGenerator(instance.network, instance.streams)
-    traffic.inject_static(int(instance.params.get("background_flows", 0)))
-    return Orchestrator(instance.network, scheduler)
-
-
 def _serve(instance: ScenarioInstance, scheduler) -> Row:
     """Serve the instance's workload one task at a time; aggregate metrics."""
-    orchestrator = _orchestrator_for(instance, scheduler)
+    orchestrator = orchestrator_for(instance, scheduler)
     round_ms: List[float] = []
     bandwidth: List[float] = []
     blocked = 0
@@ -195,10 +187,12 @@ def _serve_campaign(instance: ScenarioInstance, scheduler) -> Row:
     Used for ``serve="campaign"`` scenarios (the bursty families): tasks
     arrive at their generated times and contend for capacity, so burst
     parameters actually shape the results — ``makespan_ms`` most of all.
+    When the instance carries a fault timeline it is played interleaved
+    with the arrivals, and the run's availability metrics (downtime,
+    interruptions, reschedules, time-to-recover) become row columns.
     """
-    orchestrator = _orchestrator_for(instance, scheduler)
-    outcome = CampaignRunner(orchestrator, instance.workload).run()
-    return {
+    outcome = campaign_runner_for(instance, scheduler).run()
+    row = {
         "scheduler": scheduler.name,
         "served": outcome.completed,
         "blocked": outcome.blocked,
@@ -206,6 +200,9 @@ def _serve_campaign(instance: ScenarioInstance, scheduler) -> Row:
         "makespan_ms": outcome.makespan_ms,
         "failed_links": len(instance.failed_links),
     }
+    if outcome.availability is not None:
+        row.update(outcome.availability)
+    return row
 
 
 def execute_run(key: RunKey) -> List[Row]:
@@ -271,6 +268,37 @@ def _load_cached(cache_dir: str, key: RunKey) -> Optional[List[Row]]:
     return rows if isinstance(rows, list) else None
 
 
+class _JsonlSink:
+    """Streaming JSONL result sink (the first slice of ROADMAP's
+    "Streaming result sinks" item).
+
+    One line per row, *appended run-by-run as results arrive*, so a
+    million-run sweep never has to hold every row before the first byte
+    lands on disk and an interrupted sweep keeps what it finished.  Rows
+    stream in run-key submission order (cached runs first), which keeps
+    the file deterministic for a given configuration.
+
+    The file is truncated at open: cached runs are re-emitted on a
+    resume, so appending across invocations would double-count every
+    run finished before an interruption.  Each invocation therefore
+    leaves one complete, duplicate-free row set.
+    """
+
+    def __init__(self, path: str) -> None:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "w", encoding="utf-8")
+
+    def write_run(self, rows: List[Row]) -> None:
+        for row in rows:
+            self._handle.write(json.dumps(row, sort_keys=True, default=str))
+            self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
 def _store_cached(cache_dir: str, key: RunKey, rows: List[Row]) -> None:
     os.makedirs(cache_dir, exist_ok=True)
     payload = {"key": key.canonical(), "rows": rows}
@@ -287,6 +315,7 @@ def run_sweep(
     workers: int = 1,
     cache_dir: Optional[str] = None,
     name: str = "sweep",
+    jsonl_path: Optional[str] = None,
 ) -> "ExperimentResult":
     """Execute a sweep and collect every run's rows, in run-key order.
 
@@ -297,6 +326,12 @@ def run_sweep(
         cache_dir: when given, finished runs are persisted there and
             reruns load them instead of recomputing (resume-on-rerun).
         name: the returned :class:`ExperimentResult`'s name.
+        jsonl_path: when given, every run's rows are appended to this
+            JSONL file as the run completes (cache hits first), so
+            partial progress survives interruption and huge sweeps never
+            buffer the whole result before writing.  The file is
+            rewritten per invocation (cached runs are re-emitted), so a
+            resumed sweep ends with one complete, duplicate-free file.
     """
     from ..experiments.results import ExperimentResult
 
@@ -311,43 +346,61 @@ def run_sweep(
                 rows_by_key[key] = cached
     missing = [key for key in keys if key not in rows_by_key]
 
-    if missing:
-        parallel = workers > 1 and len(missing) > 1
-        extra_specs: bytes = pickle.dumps([])
-        if parallel:
-            method, ctx = _pool_context()
-            if method != "fork":
-                # Spawn workers start from a fresh interpreter that only
-                # knows the built-in catalogue after import.  Ship every
-                # swept spec along (module-level callables pickle by
-                # reference); fall back to serial when one can't be
-                # pickled, e.g. a closure-built user scenario.
-                swept = {key.scenario: get_scenario(key.scenario) for key in missing}
-                try:
-                    extra_specs = pickle.dumps(list(swept.values()))
-                except (pickle.PicklingError, AttributeError, TypeError) as exc:
-                    warnings.warn(
-                        f"sweep falls back to serial execution: a swept "
-                        f"scenario spec cannot be pickled for spawn-started "
-                        f"workers ({exc}); define its builders at module "
-                        f"level to enable the pool",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-                    parallel = False
-        if not parallel:
-            computed = [execute_run(key) for key in missing]
-        else:
-            with ctx.Pool(
-                processes=min(workers, len(missing)),
-                initializer=_init_worker,
-                initargs=(list(sys.path), extra_specs),
-            ) as pool:
-                computed = pool.map(execute_run, missing)
-        for key, rows in zip(missing, computed):
+    sink = _JsonlSink(jsonl_path) if jsonl_path is not None else None
+    try:
+        if sink is not None:
+            for key in keys:
+                if key in rows_by_key:
+                    sink.write_run(rows_by_key[key])
+
+        def record(key: RunKey, rows: List[Row]) -> None:
             rows_by_key[key] = rows
             if cache_dir is not None:
                 _store_cached(cache_dir, key, rows)
+            if sink is not None:
+                sink.write_run(rows)
+
+        if missing:
+            parallel = workers > 1 and len(missing) > 1
+            extra_specs: bytes = pickle.dumps([])
+            if parallel:
+                method, ctx = _pool_context()
+                if method != "fork":
+                    # Spawn workers start from a fresh interpreter that only
+                    # knows the built-in catalogue after import.  Ship every
+                    # swept spec along (module-level callables pickle by
+                    # reference); fall back to serial when one can't be
+                    # pickled, e.g. a closure-built user scenario.
+                    swept = {key.scenario: get_scenario(key.scenario) for key in missing}
+                    try:
+                        extra_specs = pickle.dumps(list(swept.values()))
+                    except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                        warnings.warn(
+                            f"sweep falls back to serial execution: a swept "
+                            f"scenario spec cannot be pickled for spawn-started "
+                            f"workers ({exc}); define its builders at module "
+                            f"level to enable the pool",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        parallel = False
+            if not parallel:
+                for key in missing:
+                    record(key, execute_run(key))
+            else:
+                with ctx.Pool(
+                    processes=min(workers, len(missing)),
+                    initializer=_init_worker,
+                    initargs=(list(sys.path), extra_specs),
+                ) as pool:
+                    # imap streams results back in submission order, so
+                    # cache files and JSONL lines land run-by-run instead
+                    # of all at once when the slowest worker finishes.
+                    for key, rows in zip(missing, pool.imap(execute_run, missing)):
+                        record(key, rows)
+    finally:
+        if sink is not None:
+            sink.close()
 
     result = ExperimentResult(
         name=name,

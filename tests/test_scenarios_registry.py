@@ -203,7 +203,8 @@ class TestFailureModel:
     def test_never_fails_server_links(self):
         net = toy_triangle()
         model = LinkFailureModel(n_failures=50)  # more than candidates
-        failed = model.apply(net, RandomStreams(0).stream("failures"))
+        with pytest.warns(RuntimeWarning, match="inter-switch links"):
+            failed = model.apply(net, RandomStreams(0).stream("failures"))
         for u, v in failed:
             assert not u.startswith("S-") and not v.startswith("S-")
 
