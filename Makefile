@@ -1,4 +1,4 @@
-.PHONY: test bench smoke all
+.PHONY: test bench smoke sweep-smoke all
 
 # Tier-1: the full test suite (pyproject.toml supplies pythonpath/testpaths).
 test:
@@ -13,5 +13,19 @@ smoke:
 	PYTHONPATH=src python -m repro.cli scenarios list
 	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
 		--set demand_gbps=5,10 --dry-run
+
+# A tiny sweep executed for real on every backend + the SQLite sink, so
+# a backend regression fails fast instead of only failing collect-only.
+sweep-smoke:
+	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
+		--set demand_gbps=5,10 --backend serial
+	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
+		--set demand_gbps=5,10 --backend pool --workers 2
+	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
+		--set demand_gbps=5,10 --backend socket --local-workers 2 \
+		--timeout 120 --sink sqlite --sink-path .sweep-smoke.db
+	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
+		--serving campaign --backend socket --local-workers 2 --timeout 120
+	rm -f .sweep-smoke.db
 
 all: test bench

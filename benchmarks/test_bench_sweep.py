@@ -1,10 +1,13 @@
-"""Benchmark: serial vs parallel scenario sweeps.
+"""Benchmark: serial vs pool vs socket-queue scenario sweeps.
 
-Times the same sweep through the engine serially and over a 2-worker
-pool, asserts the rows are byte-identical (the engine's core guarantee),
-and — when the host actually has more than one CPU — that the pool is
-faster.  On a single-CPU host the speedup assertion is skipped: two
-workers time-slicing one core cannot beat a serial run.
+Times the same sweep through the engine on each execution backend,
+asserts the rows are byte-identical (the engine's core guarantee), and
+— when the host actually has more than one CPU — that the pool is
+faster than serial.  On a single-CPU host the speedup assertion is
+skipped: two workers time-slicing one core cannot beat a serial run.
+The socket backend gets no speedup assertion at all: its in-process
+worker threads share the GIL, so it measures coordination overhead,
+not parallelism (real gains come from external worker processes).
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from __future__ import annotations
 import os
 import time
 
-from repro.scenarios import SweepConfig, run_sweep
+from repro.scenarios import SocketQueueBackend, SweepConfig, run_sweep
 
 from benchmarks.conftest import run_once
 
@@ -33,6 +36,27 @@ def test_bench_sweep_serial(benchmark):
 def test_bench_sweep_parallel(benchmark):
     result = run_once(benchmark, run_sweep, SWEEP, workers=2)
     assert len(result.rows) == 24
+
+
+def test_bench_sweep_socket(benchmark):
+    result = run_once(
+        benchmark,
+        run_sweep,
+        SWEEP,
+        backend=SocketQueueBackend(local_workers=2, timeout=600.0),
+    )
+    assert len(result.rows) == 24
+
+
+def test_socket_matches_serial(benchmark):
+    serial = run_sweep(SWEEP, workers=1)
+    distributed = run_once(
+        benchmark,
+        run_sweep,
+        SWEEP,
+        backend=SocketQueueBackend(local_workers=2, timeout=600.0),
+    )
+    assert serial.to_json() == distributed.to_json()
 
 
 def test_parallel_matches_serial_and_speeds_up(benchmark):

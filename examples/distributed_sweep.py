@@ -1,0 +1,135 @@
+"""Walkthrough: a distributed sweep — coordinator + two workers on localhost.
+
+Run with::
+
+    PYTHONPATH=src python examples/distributed_sweep.py
+
+The sweep engine's socket backend turns ``run_sweep`` into a
+work-stealing coordinator: it listens on a TCP port and any worker that
+connects pulls one run at a time, executes it with the exact engine a
+serial sweep uses, and streams the rows back.  This script starts the
+coordinator in a thread, launches two genuine worker *processes* with
+the stock CLI (``repro scenarios worker --connect HOST:PORT`` — the
+same command you would run on another machine), and streams every row
+into the SQLite sink, then queries the incremental aggregates back.
+
+Byte-identical determinism means it does not matter which worker gets
+which run — the rows match a serial sweep exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+
+from repro.scenarios import (
+    SocketQueueBackend,
+    SqliteSink,
+    SweepConfig,
+    read_aggregates,
+    run_sweep,
+)
+
+#: A fault-injected campaign sweep: availability and makespan per row.
+CONFIG = SweepConfig(
+    scenarios=("metro-mesh-flaky-links",),
+    grid={"n_tasks": [4], "link_mtbf_ms": [15_000.0, 60_000.0]},
+    seeds=(0, 1),
+)
+
+
+def spawn_cli_worker(host: str, port: int, name: str) -> subprocess.Popen:
+    """The same command a remote machine would run, just on localhost."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "scenarios",
+            "worker",
+            "--connect",
+            f"{host}:{port}",
+            "--name",
+            name,
+        ],
+        env=env,
+    )
+
+
+def main() -> None:
+    address = {}
+    listening = threading.Event()
+
+    def announce(addr):
+        address["value"] = addr
+        listening.set()
+
+    backend = SocketQueueBackend(
+        local_workers=0,  # every run goes to the external workers
+        timeout=600.0,
+        announce=announce,
+    )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        db_path = os.path.join(scratch, "sweep.db")
+        cache_dir = os.path.join(scratch, "cache")
+        results = {}
+
+        def coordinate() -> None:
+            try:
+                results["result"] = run_sweep(
+                    CONFIG,
+                    backend=backend,
+                    sink=SqliteSink(db_path),
+                    cache_dir=cache_dir,  # workers persist straight into it
+                )
+            except Exception as exc:
+                results["error"] = exc
+                listening.set()  # unblock the main thread either way
+
+        coordinator = threading.Thread(target=coordinate)
+        coordinator.start()
+        if not listening.wait(timeout=30.0) or "error" in results:
+            raise RuntimeError(
+                f"coordinator never started listening: {results.get('error')}"
+            )
+        host, port = address["value"]
+        print(f"coordinator listening on {host}:{port}")
+
+        workers = [
+            spawn_cli_worker(host, port, "worker-a"),
+            spawn_cli_worker(host, port, "worker-b"),
+        ]
+        for worker in workers:
+            worker.wait(timeout=600)
+        coordinator.join(timeout=600)
+
+        if "error" in results:
+            raise RuntimeError(f"sweep failed: {results['error']}")
+        result = results["result"]
+        print()
+        print(result.to_table())
+        print()
+        print("workers wrote the shared per-run cache:")
+        print(f"  {len(os.listdir(cache_dir))} cached runs in {cache_dir}")
+        print()
+        print("incremental aggregates from the SQLite sink:")
+        aggregates = read_aggregates(db_path)
+        for metric in ("availability", "makespan_ms"):
+            for (scenario, scheduler, m), (n, mean) in sorted(aggregates.items()):
+                if m == metric:
+                    print(f"  {scheduler:<13s} {metric:<13s} n={n}  mean={mean:.4f}")
+
+        serial = run_sweep(CONFIG)
+        assert serial.to_json() == result.to_json()
+        print()
+        print("distributed rows are byte-identical to a serial sweep")
+
+
+if __name__ == "__main__":
+    main()

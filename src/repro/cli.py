@@ -6,22 +6,33 @@ Runs any experiment from DESIGN.md §4 and prints its table, e.g.::
     repro abl-rdma --save rdma.json
     repro list
 
-The ``scenarios`` subcommand exposes the scenario registry, the
-parallel sweep engine, and fault-profile introspection::
+The ``scenarios`` subcommand exposes the scenario registry, the sweep
+engine with its pluggable backends and sinks, and fault-profile
+introspection::
 
     repro scenarios list
     repro scenarios list --tag resilience
     repro scenarios sweep metro-mesh-uniform --set n_locals=3,6,9 \\
         --seeds 0,1 --workers 4 --cache-dir .sweep-cache --save out.json
     repro scenarios sweep metro-mesh-flaky-links --jsonl rows.jsonl
+    repro scenarios sweep metro-mesh-flaky-links --backend socket \\
+        --port 7777 --sink sqlite --sink-path sweep.db
+    repro scenarios worker --connect localhost:7777
     repro scenarios sweep fat-tree-uniform --dry-run
     repro scenarios faults metro-mesh-flaky-links --seed 3 --events 10
 
 ``scenarios sweep`` expands the cross product of every ``--set``
-dimension and the seed list over the named scenarios, fans the runs out
-over ``--workers`` processes (results are byte-identical to a serial
-run), resumes from ``--cache-dir`` when given, and streams rows to
-``--jsonl`` as runs complete.  ``scenarios faults`` describes a
+dimension and the seed list over the named scenarios and runs it on the
+chosen ``--backend`` — ``serial`` in-process, ``pool`` over
+``--workers`` processes, or ``socket``: a work-stealing coordinator
+that hands runs to any worker that connects (``--local-workers`` starts
+in-process ones; ``scenarios worker --connect HOST:PORT`` joins from
+anywhere).  Every backend produces byte-identical rows.  ``--serving``
+overrides how workloads are served (one-at-a-time protocol vs full
+campaign timeline), ``--cache-dir`` resumes finished runs, and rows
+stream to ``--jsonl`` or a ``--sink``/``--sink-path`` pair (``jsonl``,
+whole-file ``json``, or a queryable ``sqlite`` store with incremental
+aggregates) as runs complete.  ``scenarios faults`` describes a
 scenario's fault profile and previews the deterministic fail/repair
 timeline it draws for a given seed.
 """
@@ -116,8 +127,10 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
             "Expands the cross product of every --set dimension and the "
             "seed list over the named scenarios, runs each (scenario, "
             "params, seed) under both schedulers, and prints the collected "
-            "rows.  --workers fans runs out over a process pool with "
-            "byte-identical results; --cache-dir resumes finished runs."
+            "rows.  --backend picks where runs execute (serial, a process "
+            "pool, or a work-stealing socket coordinator) with "
+            "byte-identical results; --cache-dir resumes finished runs; "
+            "--sink streams rows to JSONL/JSON/SQLite as runs complete."
         ),
     )
     sweep.add_argument("scenario", nargs="+", help="registered scenario names")
@@ -150,9 +163,90 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
         help="append each run's rows to this JSONL file as runs complete",
     )
     sweep.add_argument(
+        "--backend",
+        choices=("serial", "pool", "socket"),
+        help=(
+            "execution backend (default: pool when --workers > 1, else "
+            "serial); 'socket' starts a work-stealing coordinator that "
+            "external 'scenarios worker' processes can join"
+        ),
+    )
+    sweep.add_argument(
+        "--serving",
+        choices=("protocol", "campaign"),
+        help=(
+            "override how every run serves its workload: 'protocol' "
+            "admits tasks one at a time, 'campaign' plays the full "
+            "arrival timeline under contention (default: each "
+            "scenario's own mode)"
+        ),
+    )
+    sweep.add_argument(
+        "--sink",
+        choices=("json", "jsonl", "sqlite"),
+        help="stream rows to this sink kind (requires --sink-path)",
+    )
+    sweep.add_argument(
+        "--sink-path",
+        metavar="PATH",
+        help="where the --sink writes (file or SQLite database)",
+    )
+    sweep.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="socket backend: coordinator bind address (default: 127.0.0.1)",
+    )
+    sweep.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="socket backend: coordinator port (default: 0 = ephemeral)",
+    )
+    sweep.add_argument(
+        "--local-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "socket backend: in-process worker threads (default: 0 — "
+            "the sweep waits for external workers to connect)"
+        ),
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "socket backend: fail the sweep if runs are still "
+            "outstanding after this many seconds (default: wait forever)"
+        ),
+    )
+    sweep.add_argument(
         "--dry-run",
         action="store_true",
         help="print the expanded run list without executing",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a socket-backend sweep as a pull worker",
+        description=(
+            "Connects to a 'scenarios sweep --backend socket' coordinator, "
+            "pulls runs one at a time, executes them with the same "
+            "deterministic engine a serial sweep uses, and streams the "
+            "rows back until the coordinator runs out of work."
+        ),
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address printed by the sweep command",
+    )
+    worker.add_argument(
+        "--name",
+        help="worker name reported to the coordinator (default: host:pid)",
     )
 
     faults = sub.add_parser(
@@ -251,9 +345,57 @@ def _faults_main(args) -> int:
     return 0
 
 
+def _worker_main(args) -> int:
+    """Join a socket-backend sweep coordinator as a pull worker."""
+    from .scenarios.sweep import run_worker
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"--connect expects HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        executed = run_worker(host, int(port_text), worker_name=args.name)
+    except (OSError, ConnectionError) as exc:
+        print(
+            f"error: cannot join sweep at {args.connect}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except Exception as exc:
+        # run_worker re-raises a failing run after telling the
+        # coordinator; the CLI reports it cleanly instead of a traceback.
+        print(f"error: worker failed a run: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker finished: executed {executed} runs")
+    return 0
+
+
+def _build_backend(args):
+    """The sweep backend selected by CLI flags (None = derive from workers)."""
+    from .scenarios.sweep import SocketQueueBackend
+
+    if args.backend != "socket":
+        return args.backend
+    return SocketQueueBackend(
+        host=args.host,
+        port=args.port,
+        local_workers=args.local_workers,
+        timeout=args.timeout,
+        announce=lambda addr: print(
+            f"coordinator listening on {addr[0]}:{addr[1]} — join with "
+            f"'repro scenarios worker --connect {addr[0]}:{addr[1]}'",
+            file=sys.stderr,
+        ),
+    )
+
+
 def _scenarios_main(argv: List[str]) -> int:
     from .errors import ConfigurationError
     from .scenarios import SweepConfig, expand_runs, list_scenarios, run_sweep
+    from .scenarios.sweep import make_sink
 
     args = build_scenarios_parser().parse_args(argv)
     if args.command == "list":
@@ -265,6 +407,8 @@ def _scenarios_main(argv: List[str]) -> int:
         return 0
     if args.command == "faults":
         return _faults_main(args)
+    if args.command == "worker":
+        return _worker_main(args)
 
     grid = {}
     for item in args.grid:
@@ -278,21 +422,31 @@ def _scenarios_main(argv: List[str]) -> int:
     except ValueError:
         print(f"--seeds expects integers, got {args.seeds!r}", file=sys.stderr)
         return 2
+    if args.sink and not args.sink_path:
+        print("--sink requires --sink-path", file=sys.stderr)
+        return 2
+    if args.sink_path and not args.sink:
+        print("--sink-path requires --sink", file=sys.stderr)
+        return 2
     try:
         config = SweepConfig(
             scenarios=tuple(args.scenario),
             grid=grid,
             seeds=seeds,
+            serving=args.serving,
         )
         if args.dry_run:
             for key in expand_runs(config):
                 print(key.canonical())
             return 0
+        sink = make_sink(args.sink, args.sink_path) if args.sink else None
         result = run_sweep(
             config,
             workers=args.workers,
             cache_dir=args.cache_dir,
             jsonl_path=args.jsonl,
+            backend=_build_backend(args),
+            sink=sink,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -3,15 +3,16 @@
 Historically :mod:`fig1`/:mod:`fig3` hand-built their topology × workload
 combinations and ran them serially.  These harnesses produce the same
 *kind* of series through the generic sweep engine instead, so they pick
-up grid expansion, worker-pool parallelism, and resume caching for free —
-and serve as the template for expressing any future figure.
+up grid expansion, pluggable execution backends (serial / process pool /
+distributed socket queue), resume caching, and streaming result sinks
+for free — and serve as the template for expressing any future figure.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
-from ..scenarios.sweep import SweepConfig, run_sweep
+from ..scenarios.sweep import SqliteSink, SweepConfig, run_sweep
 from .results import ExperimentResult
 
 
@@ -20,12 +21,15 @@ def run_fig1_sweep(
     *,
     workers: int = 1,
     cache_dir: Optional[str] = None,
+    backend: Optional[Any] = None,
 ) -> ExperimentResult:
     """Fig. 1's toy example swept over the task's demand.
 
     Each row reports both schedulers' consumed bandwidth on the toy
     triangle; the paper's single data point is the ``demand_gbps=10``
-    slice.
+    slice.  ``backend`` picks where runs execute (``"serial"``,
+    ``"pool"``, ``"socket"``, or a backend instance) with byte-identical
+    rows either way.
     """
     result = run_sweep(
         SweepConfig(
@@ -34,6 +38,7 @@ def run_fig1_sweep(
         ),
         workers=workers,
         cache_dir=cache_dir,
+        backend=backend,
         name="fig1-sweep",
     )
     result.description = (
@@ -49,6 +54,7 @@ def run_fig3_sweep(
     seeds: Tuple[int, ...] = (7,),
     workers: int = 1,
     cache_dir: Optional[str] = None,
+    backend: Optional[Any] = None,
 ) -> ExperimentResult:
     """Fig. 3's latency/bandwidth series via the sweep engine.
 
@@ -69,6 +75,7 @@ def run_fig3_sweep(
         ),
         workers=workers,
         cache_dir=cache_dir,
+        backend=backend,
         name="fig3-sweep",
     )
     result.description = (
@@ -85,6 +92,8 @@ def run_resilience_sweep(
     seeds: Tuple[int, ...] = (0,),
     workers: int = 1,
     cache_dir: Optional[str] = None,
+    backend: Optional[Any] = None,
+    sqlite_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Fault intensity vs availability/interruption on the metro mesh.
 
@@ -93,6 +102,11 @@ def run_resilience_sweep(
     and ``tasks_interrupted`` / ``fault_blocks`` climb.  The comparison
     of interest is how the two schedulers' ``fault_reschedules`` differ
     — flexible trees give the repair loop more room to re-route.
+
+    ``sqlite_path`` streams every row (availability and makespan
+    included) into the queryable SQLite sink with incremental
+    aggregates, and ``backend="socket"`` fans the campaign out over a
+    distributed work-stealing queue.
     """
     result = run_sweep(
         SweepConfig(
@@ -105,6 +119,8 @@ def run_resilience_sweep(
         ),
         workers=workers,
         cache_dir=cache_dir,
+        backend=backend,
+        sink=SqliteSink(sqlite_path) if sqlite_path is not None else None,
         name="resilience-sweep",
     )
     result.description = (

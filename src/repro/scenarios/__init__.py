@@ -34,12 +34,23 @@ from .failures import LinkFailureModel
 from .registry import get_scenario, list_scenarios, register, unregister
 from .spec import ScenarioInstance, ScenarioSpec
 from .sweep import (
+    JsonSink,
+    JsonlSink,
+    ProcessPoolBackend,
+    ResultSink,
     RunKey,
+    SerialBackend,
+    SocketQueueBackend,
+    SqliteSink,
+    SweepBackend,
     SweepConfig,
     execute_run,
     expand_grid,
     expand_runs,
+    make_sink,
+    read_aggregates,
     run_sweep,
+    run_worker,
 )
 from .workloads import WORKLOADS
 
@@ -47,10 +58,18 @@ register_builtin_scenarios()
 
 __all__ = [
     "FaultProfile",
+    "JsonSink",
+    "JsonlSink",
     "LinkFailureModel",
+    "ProcessPoolBackend",
+    "ResultSink",
     "RunKey",
     "ScenarioInstance",
     "ScenarioSpec",
+    "SerialBackend",
+    "SocketQueueBackend",
+    "SqliteSink",
+    "SweepBackend",
     "SweepConfig",
     "WORKLOADS",
     "execute_run",
@@ -58,8 +77,11 @@ __all__ = [
     "expand_runs",
     "get_scenario",
     "list_scenarios",
+    "make_sink",
+    "read_aggregates",
     "register",
     "register_builtin_scenarios",
     "run_sweep",
+    "run_worker",
     "unregister",
 ]

@@ -1,0 +1,86 @@
+"""Parameter-grid expansion and the sweep engine, split into three layers.
+
+* :mod:`~repro.scenarios.sweep.engine` — grid expansion, run identity
+  (:class:`RunKey`), deterministic seeding, the per-run resume cache,
+  ordered row assembly, and the :func:`run_sweep` facade.
+* :mod:`~repro.scenarios.sweep.backends` — *where* runs execute: a
+  :class:`SweepBackend` ABC with :class:`SerialBackend`,
+  :class:`ProcessPoolBackend` (the historical ``workers=N`` pool), and
+  the distributed :class:`SocketQueueBackend`
+  (:mod:`~repro.scenarios.sweep.distributed`): a work-stealing
+  coordinator over TCP whose workers — threads, processes, or other
+  hosts — pull runs and stream rows back, with ``repro scenarios
+  worker --connect HOST:PORT`` as the stock worker.
+* :mod:`~repro.scenarios.sweep.sinks` — *where* rows land as runs
+  complete: a :class:`ResultSink` ABC with streaming JSONL, whole-file
+  JSON, and a queryable SQLite sink with incremental running-mean
+  aggregation.
+
+Every backend produces byte-identical rows for the same
+:class:`SweepConfig`, and ``run_sweep(...)`` keeps its historical
+signature — existing callers never see the layers unless they want to.
+"""
+
+from .backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepBackend,
+    _init_worker,
+    install_shipped_specs,
+    resolve_backend,
+)
+from .distributed import SocketQueueBackend, run_worker
+from .engine import (
+    Grid,
+    OrderedRecorder,
+    Row,
+    RunKey,
+    SERVING_MODES,
+    SweepConfig,
+    cache_path,
+    execute_run,
+    expand_grid,
+    expand_runs,
+    load_cached,
+    run_sweep,
+    store_cached,
+)
+from .sinks import (
+    SINK_KINDS,
+    JsonSink,
+    JsonlSink,
+    ResultSink,
+    SqliteSink,
+    make_sink,
+    read_aggregates,
+)
+
+__all__ = [
+    "Grid",
+    "JsonSink",
+    "JsonlSink",
+    "OrderedRecorder",
+    "ProcessPoolBackend",
+    "ResultSink",
+    "Row",
+    "RunKey",
+    "SERVING_MODES",
+    "SINK_KINDS",
+    "SerialBackend",
+    "SocketQueueBackend",
+    "SqliteSink",
+    "SweepBackend",
+    "SweepConfig",
+    "cache_path",
+    "execute_run",
+    "expand_grid",
+    "expand_runs",
+    "install_shipped_specs",
+    "load_cached",
+    "make_sink",
+    "read_aggregates",
+    "resolve_backend",
+    "run_sweep",
+    "run_worker",
+    "store_cached",
+]

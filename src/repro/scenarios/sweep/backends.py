@@ -1,0 +1,210 @@
+"""Execution backends: *where* a sweep's runs actually execute.
+
+The engine decides *what* to run (missing :class:`RunKey`\\ s, in
+submission order) and how to record results; a backend only has to run
+every key and call ``emit(key, rows)`` once per key, in any order and
+from any thread — :class:`~repro.scenarios.sweep.engine.OrderedRecorder`
+re-sequences on the engine side.  Three implementations ship:
+
+* :class:`SerialBackend` — in-process, one run at a time.
+* :class:`ProcessPoolBackend` — the historical ``workers=N`` behaviour:
+  a ``multiprocessing`` pool streaming results back in submission order,
+  byte-identical to serial.
+* :class:`~repro.scenarios.sweep.distributed.SocketQueueBackend` — a
+  work-stealing coordinator over TCP sockets (its own module).
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import pickle
+import sys
+import warnings
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigurationError
+from ...reporting import Row
+from ..registry import get_scenario, register
+from .engine import RunKey, execute_run
+
+#: A backend's result channel: called once per key, any order, any thread.
+EmitFn = Callable[[RunKey, List[Row]], None]
+
+
+class SweepBackend(abc.ABC):
+    """Executes a batch of sweep runs and reports each run's rows.
+
+    Contract: ``execute`` must call ``emit(key, rows)`` exactly once for
+    every key (duplicates are tolerated but ignored), may do so in any
+    order and from any thread, and must not return before every key has
+    been reported or an error raised.
+    """
+
+    #: Short name used by the CLI's ``--backend`` flag.
+    name: str = "?"
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        keys: Sequence[RunKey],
+        emit: EmitFn,
+        *,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        """Run every key, reporting rows through ``emit``.
+
+        ``cache_dir`` is advisory: the engine already persists whatever
+        ``emit`` delivers, but distributed backends may announce the
+        directory to remote workers so results also land in the shared
+        per-run cache straight from the worker.
+        """
+
+
+class SerialBackend(SweepBackend):
+    """One run at a time, in-process — the reference implementation."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        keys: Sequence[RunKey],
+        emit: EmitFn,
+        *,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        for key in keys:
+            emit(key, execute_run(key))
+
+
+# ---------------------------------------------------------------------------
+# Worker bootstrap shared by the pool and socket backends
+# ---------------------------------------------------------------------------
+
+def install_shipped_specs(pickled_specs: bytes) -> None:
+    """Register scenario specs shipped from a sweep coordinator.
+
+    Fresh interpreters (spawn-started pool workers, remote socket
+    workers) only know the built-in catalogue after import; any swept
+    user-registered specs ride along pickled and are installed here.
+    """
+    for spec in pickle.loads(pickled_specs):
+        register(spec, replace=True)
+
+
+def _init_worker(paths: List[str], pickled_specs: bytes) -> None:
+    """Prepare a pool worker: import paths plus non-builtin scenarios.
+
+    Fork-started workers inherit everything; spawn-started workers get a
+    fresh interpreter, so the parent's ``sys.path`` and any swept
+    user-registered specs ride along.
+    """
+    for path in reversed(paths):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    install_shipped_specs(pickled_specs)
+
+
+def pickled_sweep_specs(keys: Sequence[RunKey]) -> bytes:
+    """Every swept scenario's spec, pickled for shipping to workers.
+
+    Module-level builders pickle by reference; a closure-built user
+    scenario raises (``PicklingError``/``AttributeError``/``TypeError``)
+    and the caller decides how to degrade.
+    """
+    swept = {key.scenario: get_scenario(key.scenario) for key in keys}
+    return pickle.dumps(list(swept.values()))
+
+
+def _pool_context() -> Tuple[str, Any]:
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else "spawn"
+    return method, multiprocessing.get_context(method)
+
+
+class ProcessPoolBackend(SweepBackend):
+    """A local ``multiprocessing`` pool, byte-identical to serial.
+
+    ``imap`` streams results back in submission order, so cache files
+    and sink writes land run-by-run instead of all at once when the
+    slowest worker finishes.  Degenerate batches (one run, one worker)
+    and unpicklable swept specs fall back to the serial backend.
+    """
+
+    name = "pool"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def execute(
+        self,
+        keys: Sequence[RunKey],
+        emit: EmitFn,
+        *,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if self.workers < 2 or len(keys) < 2:
+            SerialBackend().execute(keys, emit, cache_dir=cache_dir)
+            return
+        method, ctx = _pool_context()
+        extra_specs: bytes = pickle.dumps([])
+        if method != "fork":
+            # Spawn workers start from a fresh interpreter that only
+            # knows the built-in catalogue after import.  Ship every
+            # swept spec along; fall back to serial when one can't be
+            # pickled, e.g. a closure-built user scenario.
+            try:
+                extra_specs = pickled_sweep_specs(keys)
+            except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                warnings.warn(
+                    f"sweep falls back to serial execution: a swept "
+                    f"scenario spec cannot be pickled for spawn-started "
+                    f"workers ({exc}); define its builders at module "
+                    f"level to enable the pool",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                SerialBackend().execute(keys, emit, cache_dir=cache_dir)
+                return
+        with ctx.Pool(
+            processes=min(self.workers, len(keys)),
+            initializer=_init_worker,
+            initargs=(list(sys.path), extra_specs),
+        ) as pool:
+            for key, rows in zip(keys, pool.imap(execute_run, list(keys))):
+                emit(key, rows)
+
+
+def resolve_backend(
+    backend: Optional[Any], *, workers: int = 1
+) -> SweepBackend:
+    """Turn ``run_sweep``'s ``backend`` argument into an instance.
+
+    ``None`` reproduces the historical behaviour exactly: a pool when
+    ``workers > 1``, serial otherwise.  Strings name a backend kind,
+    sized by ``workers`` (``"socket"`` gets that many in-process worker
+    threads so it is self-contained; external workers can still join).
+    """
+    if backend is None:
+        if workers > 1:
+            return ProcessPoolBackend(workers)
+        return SerialBackend()
+    if isinstance(backend, SweepBackend):
+        return backend
+    if isinstance(backend, str):
+        if backend == "serial":
+            return SerialBackend()
+        if backend == "pool":
+            return ProcessPoolBackend(workers if workers > 1 else 2)
+        if backend == "socket":
+            from .distributed import SocketQueueBackend
+
+            return SocketQueueBackend(local_workers=max(1, workers))
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; valid: serial, pool, socket"
+        )
+    raise ConfigurationError(
+        f"backend must be None, a name, or a SweepBackend, got {backend!r}"
+    )

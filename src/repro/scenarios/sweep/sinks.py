@@ -1,0 +1,317 @@
+"""Result sinks: where a sweep's rows land as runs complete.
+
+The engine streams every finished run — cache hits first, then fresh
+runs in run-key order — through each attached :class:`ResultSink`, so a
+million-run sweep never buffers the whole result before the first byte
+hits storage and an interrupted sweep keeps what it finished.  Three
+implementations ship:
+
+* :class:`JsonlSink` — one JSON line per row, appended run-by-run (the
+  original streaming sink).
+* :class:`JsonSink` — one complete JSON document written at close.
+* :class:`SqliteSink` — a queryable SQLite schema (``runs`` / ``rows`` /
+  ``row_metrics``) with *incremental* running-mean aggregation: the
+  ``aggregates`` table is updated as rows stream in, not reduced
+  post-hoc, and always matches a post-hoc reduction of the streamed
+  rows.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import sqlite3
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...errors import ConfigurationError
+from ...reporting import Row
+from .engine import RunKey
+
+#: Sink kinds the CLI's ``--sink`` flag accepts.
+SINK_KINDS = ("json", "jsonl", "sqlite")
+
+
+class ResultSink(abc.ABC):
+    """Receives every run's rows as the run completes, in run-key order.
+
+    Lifecycle: the engine calls :meth:`open` once before the first run,
+    :meth:`write_run` once per run (cached runs are re-emitted on a
+    resume, so each invocation sees the *complete* row stream), and
+    :meth:`close` in a ``finally`` block.
+    """
+
+    #: Short name used by the CLI's ``--sink`` flag.
+    name: str = "?"
+
+    def open(self) -> None:  # noqa: B027 - optional hook
+        """Prepare the sink (create files/tables, reset state)."""
+
+    @abc.abstractmethod
+    def write_run(self, key: RunKey, rows: List[Row]) -> None:
+        """Persist one finished run's rows."""
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        """Flush and release resources after a *completed* sweep."""
+
+    def abort(self) -> None:
+        """Release resources after a *failed* sweep.
+
+        Default: close normally — streaming sinks keep the partial
+        output they already wrote, which is honest (and resumable).
+        Sinks whose close() would fabricate a complete-looking artifact
+        from partial data must override this to skip that write.
+        """
+        self.close()
+
+
+class JsonlSink(ResultSink):
+    """Streaming JSONL sink: one line per row, appended run-by-run.
+
+    The file is truncated at open: cached runs are re-emitted on a
+    resume, so appending across invocations would double-count every
+    run finished before an interruption.  Each invocation therefore
+    leaves one complete, duplicate-free row set.
+    """
+
+    name = "jsonl"
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._handle: Optional[Any] = None
+
+    def open(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self._path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(self._path, "w", encoding="utf-8")
+
+    def write_run(self, key: RunKey, rows: List[Row]) -> None:
+        for row in rows:
+            self._handle.write(json.dumps(row, sort_keys=True, default=str))
+            self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class JsonSink(ResultSink):
+    """Buffers every row and writes one complete JSON document at close.
+
+    A failed sweep writes nothing: a half-full document would be
+    indistinguishable from a complete one, so on abort the buffered
+    rows are dropped and no file appears at the path.
+    """
+
+    name = "json"
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._rows: List[Row] = []
+
+    def open(self) -> None:
+        self._rows = []
+
+    def write_run(self, key: RunKey, rows: List[Row]) -> None:
+        self._rows.extend(rows)
+
+    def close(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self._path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self._path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"rows": self._rows},
+                handle,
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+
+    def abort(self) -> None:
+        self._rows = []
+
+
+class SqliteSink(ResultSink):
+    """Queryable SQLite result store with incremental aggregation.
+
+    Schema::
+
+        runs(token PK, scenario, seed, serving, params, key)
+        rows(run_token, row_index, scenario, seed, scheduler, data)
+        row_metrics(run_token, row_index, metric, value)   -- numeric only
+        aggregates(scenario, scheduler, metric, n, mean)
+
+    Mirroring the JSONL sink's truncate-at-open semantics, every table
+    is cleared at open and each invocation leaves exactly one complete,
+    internally consistent result set: cached runs are re-emitted on a
+    resume, so nothing is lost, and rows from an *earlier, different*
+    sweep can never linger and disagree with the aggregates.  Within an
+    invocation, ``runs``/``rows``/``row_metrics`` are keyed by the run
+    token and a re-emitted run *replaces* its previous copy —
+    duplicate-free by construction.  ``aggregates`` holds running means
+    maintained *incrementally* as rows stream in
+    (``mean += (x - mean) / n``), so at close it always equals a
+    post-hoc reduction over ``row_metrics``.
+
+    The connection allows cross-thread use because distributed backends
+    deliver results from handler threads; the engine's ordered recorder
+    already serialises all ``write_run`` calls.
+    """
+
+    name = "sqlite"
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS runs (
+            token    TEXT PRIMARY KEY,
+            scenario TEXT NOT NULL,
+            seed     INTEGER NOT NULL,
+            serving  TEXT,
+            params   TEXT NOT NULL,
+            key      TEXT NOT NULL
+        );
+        CREATE TABLE IF NOT EXISTS rows (
+            run_token TEXT NOT NULL,
+            row_index INTEGER NOT NULL,
+            scenario  TEXT NOT NULL,
+            seed      INTEGER NOT NULL,
+            scheduler TEXT,
+            data      TEXT NOT NULL,
+            PRIMARY KEY (run_token, row_index)
+        );
+        CREATE TABLE IF NOT EXISTS row_metrics (
+            run_token TEXT NOT NULL,
+            row_index INTEGER NOT NULL,
+            metric    TEXT NOT NULL,
+            value     REAL NOT NULL,
+            PRIMARY KEY (run_token, row_index, metric)
+        );
+        CREATE TABLE IF NOT EXISTS aggregates (
+            scenario  TEXT NOT NULL,
+            scheduler TEXT NOT NULL,
+            metric    TEXT NOT NULL,
+            n         INTEGER NOT NULL,
+            mean      REAL NOT NULL,
+            PRIMARY KEY (scenario, scheduler, metric)
+        );
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._conn: Optional[sqlite3.Connection] = None
+        self._running: Dict[Tuple[str, str, str], Tuple[int, float]] = {}
+
+    def open(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self._path))
+        os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(self._path, check_same_thread=False)
+        with self._conn:
+            self._conn.executescript(self._SCHEMA)
+            # This invocation re-streams every run (cache hits included),
+            # so the whole store rebuilds from scratch — stale rows from
+            # a different earlier sweep would silently skew post-hoc
+            # reductions against the aggregates.
+            for table in ("runs", "rows", "row_metrics", "aggregates"):
+                self._conn.execute(f"DELETE FROM {table}")
+        self._running = {}
+
+    def write_run(self, key: RunKey, rows: List[Row]) -> None:
+        token = key.token()
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO runs "
+                "(token, scenario, seed, serving, params, key) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    token,
+                    key.scenario,
+                    key.seed,
+                    key.serving,
+                    json.dumps(key.params_dict(), sort_keys=True, default=str),
+                    key.canonical(),
+                ),
+            )
+            self._conn.execute("DELETE FROM rows WHERE run_token = ?", (token,))
+            self._conn.execute(
+                "DELETE FROM row_metrics WHERE run_token = ?", (token,)
+            )
+            touched: set = set()
+            for index, row in enumerate(rows):
+                scheduler = row.get("scheduler")
+                self._conn.execute(
+                    "INSERT INTO rows "
+                    "(run_token, row_index, scenario, seed, scheduler, data) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        token,
+                        index,
+                        key.scenario,
+                        key.seed,
+                        scheduler,
+                        json.dumps(row, sort_keys=True, default=str),
+                    ),
+                )
+                for metric, value in row.items():
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        continue
+                    self._conn.execute(
+                        "INSERT INTO row_metrics "
+                        "(run_token, row_index, metric, value) "
+                        "VALUES (?, ?, ?, ?)",
+                        (token, index, metric, float(value)),
+                    )
+                    group = (key.scenario, str(scheduler), metric)
+                    n, mean = self._running.get(group, (0, 0.0))
+                    n += 1
+                    mean += (float(value) - mean) / n
+                    self._running[group] = (n, mean)
+                    touched.add(group)
+            for scenario, scheduler, metric in touched:
+                n, mean = self._running[(scenario, scheduler, metric)]
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO aggregates "
+                    "(scenario, scheduler, metric, n, mean) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (scenario, scheduler, metric, n, mean),
+                )
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+
+
+def read_aggregates(path: str) -> Dict[Tuple[str, str, str], Tuple[int, float]]:
+    """The ``aggregates`` table of a sweep database, as a dict.
+
+    Returns ``{(scenario, scheduler, metric): (n, mean)}`` — handy for
+    tests and quick post-sweep queries without writing SQL.
+    """
+    conn = sqlite3.connect(path)
+    try:
+        cursor = conn.execute(
+            "SELECT scenario, scheduler, metric, n, mean FROM aggregates"
+        )
+        return {
+            (scenario, scheduler, metric): (n, mean)
+            for scenario, scheduler, metric, n, mean in cursor
+        }
+    finally:
+        conn.close()
+
+
+def make_sink(kind: str, path: str) -> ResultSink:
+    """Build a sink by CLI name."""
+    if kind == "jsonl":
+        return JsonlSink(path)
+    if kind == "json":
+        return JsonSink(path)
+    if kind == "sqlite":
+        return SqliteSink(path)
+    raise ConfigurationError(
+        f"unknown sink {kind!r}; valid: {', '.join(SINK_KINDS)}"
+    )

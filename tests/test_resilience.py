@@ -596,3 +596,51 @@ class TestStaticFailureCap:
             warnings_module.simplefilter("error")
             instance = spec.instantiate(seed=0)
         assert instance.metadata["failures_applied"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Campaign-mode resilience sweeps on the distributed backend (PR 3)
+# ---------------------------------------------------------------------------
+
+class TestDistributedResilienceSweep:
+    def test_campaign_socket_sweep_into_sqlite(self, tmp_path):
+        """The acceptance path end to end: a fault-injected campaign
+        sweep on the work-stealing socket backend, streaming availability
+        and makespan rows into the queryable SQLite sink."""
+        from repro.scenarios import SocketQueueBackend, SqliteSink, read_aggregates
+
+        db = str(tmp_path / "resilience.db")
+        result = run_sweep(
+            FAULT_SWEEP,
+            backend=SocketQueueBackend(local_workers=2, timeout=120.0),
+            sink=SqliteSink(db),
+        )
+        assert result.rows
+        for row in result.rows:
+            assert row["makespan_ms"] > 0
+            assert 0.0 < row["availability"] < 1.0
+        # Byte-identical to the serial engine, faults included.
+        assert result.to_json() == run_sweep(FAULT_SWEEP).to_json()
+        # Availability and makespan are queryable aggregates in the sink.
+        aggregates = read_aggregates(db)
+        metrics = {metric for (_, _, metric) in aggregates}
+        assert {"availability", "makespan_ms", "link_downtime_ms"} <= metrics
+        for (_, _, metric), (n, mean) in aggregates.items():
+            if metric == "availability":
+                assert 0.0 < mean < 1.0
+
+    def test_fault_params_sweep_on_socket_backend(self, tmp_path):
+        """Fault intensity stays a sweepable knob on the socket backend."""
+        config = SweepConfig(
+            scenarios=("metro-mesh-flaky-links",),
+            grid={"n_tasks": [4], "link_mtbf_ms": [8_000.0, 80_000.0]},
+            seeds=(0,),
+        )
+        distributed = run_sweep(config, backend="socket", workers=2)
+        serial = run_sweep(config)
+        assert distributed.to_json() == serial.to_json()
+        flaky = [r for r in distributed.rows if r["link_mtbf_ms"] == 8_000.0]
+        calm = [r for r in distributed.rows if r["link_mtbf_ms"] == 80_000.0]
+        assert min(r["availability"] for r in flaky) <= min(
+            r["availability"] for r in calm
+        )

@@ -275,3 +275,177 @@ class TestScenariosCli:
     def test_non_integer_seeds_fail_cleanly(self, capsys):
         assert main(["scenarios", "sweep", "toy-triangle", "--seeds", "abc"]) == 2
         assert "expects integers" in capsys.readouterr().err
+
+
+class TestBackendSinkCli:
+    def test_backend_serial_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "sweep",
+                    "toy-triangle",
+                    "--set",
+                    "demand_gbps=10",
+                    "--backend",
+                    "serial",
+                ]
+            )
+            == 0
+        )
+        assert "toy-triangle" in capsys.readouterr().out
+
+    def test_socket_backend_with_local_workers(self, tmp_path, capsys):
+        db = tmp_path / "sweep.db"
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "sweep",
+                    "toy-triangle",
+                    "--set",
+                    "demand_gbps=5,10",
+                    "--backend",
+                    "socket",
+                    "--local-workers",
+                    "2",
+                    "--sink",
+                    "sqlite",
+                    "--sink-path",
+                    str(db),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "coordinator listening on" in captured.err
+        assert db.exists()
+
+    def test_serving_flag_adds_campaign_columns(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "sweep",
+                    "toy-triangle",
+                    "--serving",
+                    "campaign",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "makespan_ms" in out
+        assert "serving" in out
+
+    def test_sink_requires_sink_path(self, capsys):
+        assert (
+            main(["scenarios", "sweep", "toy-triangle", "--sink", "sqlite"])
+            == 2
+        )
+        assert "--sink-path" in capsys.readouterr().err
+
+    def test_sink_path_requires_sink(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "sweep",
+                    "toy-triangle",
+                    "--sink-path",
+                    "somewhere.db",
+                ]
+            )
+            == 2
+        )
+        assert "--sink" in capsys.readouterr().err
+
+    def test_jsonl_sink_flag_matches_jsonl_shorthand(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        argv = ["scenarios", "sweep", "toy-triangle", "--set", "demand_gbps=10"]
+        assert main(argv + ["--jsonl", str(a)]) == 0
+        assert main(argv + ["--sink", "jsonl", "--sink-path", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_text() == b.read_text()
+
+
+class TestWorkerCli:
+    def test_bad_connect_syntax(self, capsys):
+        assert main(["scenarios", "worker", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_connection_refused(self, capsys):
+        # A port from the ephemeral range with nothing listening.
+        assert (
+            main(["scenarios", "worker", "--connect", "127.0.0.1:1"]) == 2
+        )
+        assert "cannot join sweep" in capsys.readouterr().err
+
+    def test_worker_drains_a_live_coordinator(self, capsys):
+        import threading
+
+        from repro.scenarios import SocketQueueBackend
+
+        addr = {}
+        ready = threading.Event()
+        backend = SocketQueueBackend(
+            local_workers=0,
+            timeout=120.0,
+            announce=lambda a: (addr.update(value=a), ready.set()),
+        )
+        results = {}
+
+        def coordinate():
+            results["result"] = run_sweep(TOY_CONFIG, backend=backend)
+
+        coordinator = threading.Thread(target=coordinate)
+        coordinator.start()
+        assert ready.wait(timeout=30.0)
+        host, port = addr["value"]
+        assert main(["scenarios", "worker", "--connect", f"{host}:{port}"]) == 0
+        coordinator.join(timeout=60.0)
+        assert not coordinator.is_alive()
+        out = capsys.readouterr().out
+        assert "executed 4 runs" in out
+        assert len(results["result"].rows) == 8
+
+
+class TestSocketTimeoutCli:
+    def test_timeout_flag_fails_cleanly_without_workers(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "sweep",
+                    "toy-triangle",
+                    "--backend",
+                    "socket",
+                    "--timeout",
+                    "0.5",
+                ]
+            )
+            == 2
+        )
+        assert "timed out" in capsys.readouterr().err
+
+
+class TestDuplicateRejection:
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate seeds"):
+            SweepConfig(scenarios=("toy-triangle",), seeds=(0, 0))
+
+    def test_duplicate_scenarios_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate scenario"):
+            SweepConfig(scenarios=("toy-triangle", "toy-triangle"))
+
+    def test_duplicate_grid_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate values"):
+            SweepConfig(
+                scenarios=("toy-triangle",), grid={"demand_gbps": [5.0, 5.0]}
+            )
+
+    def test_numerically_equal_grid_values_rejected(self):
+        # 1 and 1.0 merge to the same run key, so they alias too.
+        with pytest.raises(ConfigurationError, match="duplicate values"):
+            SweepConfig(scenarios=("toy-triangle",), grid={"rounds": [1, 1.0]})

@@ -1,0 +1,236 @@
+"""Result sinks: JSONL streaming, whole-file JSON, and the SQLite store."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    JsonSink,
+    JsonlSink,
+    SqliteSink,
+    SweepConfig,
+    read_aggregates,
+    run_sweep,
+)
+from repro.scenarios.sweep import make_sink
+
+TOY_CONFIG = SweepConfig(
+    scenarios=("toy-triangle",),
+    grid={"demand_gbps": [5.0, 10.0]},
+    seeds=(0, 1),
+)
+
+
+class TestMakeSink:
+    def test_kinds(self, tmp_path):
+        assert isinstance(make_sink("jsonl", str(tmp_path / "a")), JsonlSink)
+        assert isinstance(make_sink("json", str(tmp_path / "b")), JsonSink)
+        assert isinstance(make_sink("sqlite", str(tmp_path / "c")), SqliteSink)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown sink"):
+            make_sink("csv", str(tmp_path / "x"))
+
+
+class TestJsonSink:
+    def test_complete_document_at_close(self, tmp_path):
+        path = tmp_path / "out.json"
+        result = run_sweep(TOY_CONFIG, sink=JsonSink(str(path)))
+        payload = json.loads(path.read_text())
+        assert payload["rows"] == result.rows
+
+
+class TestJsonlSinkViaSinkArg:
+    def test_matches_jsonl_path_shorthand(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        run_sweep(TOY_CONFIG, jsonl_path=str(a))
+        run_sweep(TOY_CONFIG, sink=JsonlSink(str(b)))
+        assert a.read_text() == b.read_text()
+
+    def test_both_sinks_compose(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.json"
+        run_sweep(TOY_CONFIG, jsonl_path=str(a), sink=JsonSink(str(b)))
+        assert a.exists() and b.exists()
+
+
+class TestSqliteSchema:
+    def test_tables_and_contents(self, tmp_path):
+        path = str(tmp_path / "sweep.db")
+        result = run_sweep(TOY_CONFIG, sink=SqliteSink(path))
+        conn = sqlite3.connect(path)
+        try:
+            tables = {
+                name
+                for (name,) in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table'"
+                )
+            }
+            assert {"runs", "rows", "row_metrics", "aggregates"} <= tables
+            (n_runs,) = conn.execute("SELECT COUNT(*) FROM runs").fetchone()
+            (n_rows,) = conn.execute("SELECT COUNT(*) FROM rows").fetchone()
+            assert n_runs == 4  # 2 demands x 2 seeds
+            assert n_rows == len(result.rows) == 8
+            # Row payloads round-trip as JSON.
+            stored = [
+                json.loads(data)
+                for (data,) in conn.execute(
+                    "SELECT data FROM rows ORDER BY run_token, row_index"
+                )
+            ]
+            assert sorted(map(json.dumps, stored)) == sorted(
+                json.dumps(row, sort_keys=True) for row in result.rows
+            )
+            # Numeric columns are queryable without JSON gymnastics.
+            (mean_bw,) = conn.execute(
+                "SELECT AVG(value) FROM row_metrics WHERE metric='bandwidth_gbps'"
+            ).fetchone()
+            assert mean_bw > 0
+        finally:
+            conn.close()
+
+    def test_schedulers_recorded(self, tmp_path):
+        path = str(tmp_path / "sweep.db")
+        run_sweep(TOY_CONFIG, sink=SqliteSink(path))
+        conn = sqlite3.connect(path)
+        try:
+            schedulers = {
+                scheduler
+                for (scheduler,) in conn.execute(
+                    "SELECT DISTINCT scheduler FROM rows"
+                )
+            }
+            assert schedulers == {"fixed-spff", "flexible-mst"}
+        finally:
+            conn.close()
+
+
+class TestSqliteResume:
+    def test_duplicate_free_resume(self, tmp_path):
+        path = str(tmp_path / "sweep.db")
+        cache = str(tmp_path / "cache")
+        run_sweep(TOY_CONFIG, cache_dir=cache, sink=SqliteSink(path))
+        # Rerun: every run re-emits from the cache; tokens must dedup.
+        run_sweep(TOY_CONFIG, cache_dir=cache, sink=SqliteSink(path))
+        conn = sqlite3.connect(path)
+        try:
+            (n_runs,) = conn.execute("SELECT COUNT(*) FROM runs").fetchone()
+            (n_rows,) = conn.execute("SELECT COUNT(*) FROM rows").fetchone()
+            assert n_runs == 4
+            assert n_rows == 8
+        finally:
+            conn.close()
+
+    def test_partial_then_full_resume_completes(self, tmp_path):
+        path = str(tmp_path / "sweep.db")
+        cache = str(tmp_path / "cache")
+        small = SweepConfig(
+            scenarios=("toy-triangle",), grid={"demand_gbps": [5.0]}, seeds=(0,)
+        )
+        run_sweep(small, cache_dir=cache, sink=SqliteSink(path))
+        run_sweep(TOY_CONFIG, cache_dir=cache, sink=SqliteSink(path))
+        conn = sqlite3.connect(path)
+        try:
+            (n_runs,) = conn.execute("SELECT COUNT(*) FROM runs").fetchone()
+            assert n_runs == 4
+        finally:
+            conn.close()
+
+
+class TestSqliteAggregates:
+    def test_incremental_matches_post_hoc(self, tmp_path):
+        path = str(tmp_path / "sweep.db")
+        result = run_sweep(TOY_CONFIG, sink=SqliteSink(path))
+        aggregates = read_aggregates(path)
+        assert aggregates
+        # Post-hoc reduction over the returned rows, per (scheduler, metric).
+        for (scenario, scheduler, metric), (n, mean) in aggregates.items():
+            values = [
+                row[metric]
+                for row in result.rows
+                if row["scenario"] == scenario
+                and row["scheduler"] == scheduler
+                and isinstance(row.get(metric), (int, float))
+                and not isinstance(row.get(metric), bool)
+            ]
+            assert n == len(values)
+            assert mean == pytest.approx(sum(values) / len(values))
+
+    def test_aggregates_survive_cached_resume(self, tmp_path):
+        path = str(tmp_path / "sweep.db")
+        cache = str(tmp_path / "cache")
+        run_sweep(TOY_CONFIG, cache_dir=cache, sink=SqliteSink(path))
+        first = read_aggregates(path)
+        run_sweep(TOY_CONFIG, cache_dir=cache, sink=SqliteSink(path))
+        assert read_aggregates(path) == first
+
+    def test_aggregates_match_sql_reduction(self, tmp_path):
+        path = str(tmp_path / "sweep.db")
+        run_sweep(TOY_CONFIG, sink=SqliteSink(path))
+        conn = sqlite3.connect(path)
+        try:
+            for scenario, scheduler, metric, n, mean in conn.execute(
+                "SELECT scenario, scheduler, metric, n, mean FROM aggregates"
+            ):
+                sql_n, sql_mean = conn.execute(
+                    "SELECT COUNT(*), AVG(value) FROM row_metrics m "
+                    "JOIN rows r ON r.run_token = m.run_token "
+                    "AND r.row_index = m.row_index "
+                    "WHERE r.scenario = ? AND r.scheduler = ? AND m.metric = ?",
+                    (scenario, scheduler, metric),
+                ).fetchone()
+                assert n == sql_n
+                assert mean == pytest.approx(sql_mean)
+        finally:
+            conn.close()
+
+
+class TestFailedSweepSinkLifecycle:
+    def test_json_sink_writes_nothing_on_failure(self, tmp_path):
+        """A failed sweep must not leave a complete-looking JSON document."""
+        from repro.scenarios import SocketQueueBackend
+
+        path = tmp_path / "partial.json"
+        backend = SocketQueueBackend(local_workers=0, timeout=0.5)
+        with pytest.raises(ConfigurationError, match="timed out"):
+            run_sweep(TOY_CONFIG, backend=backend, sink=JsonSink(str(path)))
+        assert not path.exists()
+
+    def test_jsonl_sink_keeps_partial_stream_on_failure(self, tmp_path):
+        """Streaming sinks keep what they honestly wrote (here: nothing
+        new, but the truncated file itself signals the invocation ran)."""
+        from repro.scenarios import SocketQueueBackend
+
+        path = tmp_path / "partial.jsonl"
+        backend = SocketQueueBackend(local_workers=0, timeout=0.5)
+        with pytest.raises(ConfigurationError, match="timed out"):
+            run_sweep(TOY_CONFIG, backend=backend, jsonl_path=str(path))
+        assert path.exists()
+
+
+class TestSqliteFreshPerInvocation:
+    def test_different_sweep_does_not_leave_stale_rows(self, tmp_path):
+        """Aggregates must always match a post-hoc reduction over rows —
+        so an earlier, different sweep's rows cannot linger."""
+        path = str(tmp_path / "shared.db")
+        run_sweep(TOY_CONFIG, sink=SqliteSink(path))
+        other = SweepConfig(
+            scenarios=("metro-ring-uniform",),
+            grid={"n_tasks": [2]},
+            seeds=(0,),
+        )
+        run_sweep(other, sink=SqliteSink(path))
+        conn = sqlite3.connect(path)
+        try:
+            scenarios = {
+                name
+                for (name,) in conn.execute("SELECT DISTINCT scenario FROM rows")
+            }
+            assert scenarios == {"metro-ring-uniform"}
+            (n_runs,) = conn.execute("SELECT COUNT(*) FROM runs").fetchone()
+            assert n_runs == 1
+        finally:
+            conn.close()
