@@ -1,4 +1,4 @@
-.PHONY: test bench smoke sweep-smoke all
+.PHONY: test bench bench-scheduler smoke sweep-smoke properties all
 
 # Tier-1: the full test suite (pyproject.toml supplies pythonpath/testpaths).
 test:
@@ -7,6 +7,17 @@ test:
 # The benchmark suite (needs pytest-benchmark).
 bench:
 	python -m pytest benchmarks -q
+
+# Scheduler hot-path benchmark: schedule() throughput with/without the
+# routing cache on scale-free N in {50,200}; records BENCH_scheduler.json
+# and asserts the >=3x cache speedup on N=200.
+bench-scheduler:
+	python -m pytest benchmarks/test_bench_scheduler.py -q
+
+# The hypothesis property suites under the derandomized CI profile.
+properties:
+	HYPOTHESIS_PROFILE=ci python -m pytest \
+		tests/test_properties.py tests/test_routing_properties.py -q
 
 # A fast end-to-end sanity pass over the scenario machinery.
 smoke:

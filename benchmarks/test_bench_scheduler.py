@@ -1,0 +1,160 @@
+"""Benchmark: schedule() throughput with and without the routing cache.
+
+Drives the flexible scheduler through the protocol-serving hot loop —
+schedule a task, release it, next task (exactly what
+``repro.scenarios.sweep.engine._serve`` does per run) — over scale-free
+instances at N=50 and N=200, once with the epoch-keyed
+:class:`~repro.network.routing.PathCache` and once without.  Asserts the
+two passes produce byte-identical schedules (the kernel's contract) and,
+on the N=200 campaign instance, that the cache delivers at least a 3x
+throughput speedup.  Results land in ``BENCH_scheduler.json`` at the
+repo root so perf regressions are visible in review diffs.
+
+Smoke mode for CI: ``REPRO_BENCH_SMOKE=1`` shrinks the workloads to a
+few tasks (seconds, not minutes) and ``REPRO_SKIP_TIMING_ASSERTS=1``
+drops the wall-clock assertion, leaving the identity check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.flexible import FlexibleScheduler
+from repro.network import routing
+from repro.network.topologies import scale_free
+from repro.sim.rng import RandomStreams
+from repro.tasks.aitask import AITask
+from repro.tasks.models import get_model
+
+from benchmarks.conftest import run_once
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_scheduler.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SKIP_TIMING = os.environ.get("REPRO_SKIP_TIMING_ASSERTS") == "1" or SMOKE
+
+#: (n_routers, n_tasks, n_locals) per campaign; smoke shrinks the load.
+CAMPAIGNS = {
+    50: (50, 6, 5) if SMOKE else (50, 40, 8),
+    200: (200, 4, 6) if SMOKE else (200, 40, 16),
+}
+
+DEMAND_GBPS = 4.0
+SPEEDUP_FLOOR = 3.0
+
+
+def _workload(network, n_tasks: int, n_locals: int, seed: int = 7):
+    """A deterministic stream of fixed-demand tasks on random terminals."""
+    rng = RandomStreams(seed).stream("placement")
+    servers = network.servers()
+    tasks = []
+    for index in range(n_tasks):
+        chosen = rng.sample(servers, n_locals + 1)
+        tasks.append(
+            AITask(
+                task_id=f"bench-{index}",
+                model=get_model("resnet18"),
+                global_node=chosen[0],
+                local_nodes=tuple(chosen[1:]),
+                demand_gbps=DEMAND_GBPS,
+            )
+        )
+    return tasks
+
+
+def _spread(network, n_locals: int):
+    """Sanity metric: how well-spread the server pool is (kernel demo).
+
+    Uses the kernel's single-pass multi-source Dijkstra to measure the
+    worst-case latency from any router to its nearest server — a cheap
+    coverage check that the scale-free instance is a meaningful
+    scheduling substrate rather than one giant hub.
+    """
+    distance, _nearest = routing.multi_source_distances(
+        network, network.servers()
+    )
+    return max(
+        distance.get(name, float("inf")) for name in network.node_names()
+    )
+
+
+def _campaign(n_routers: int, n_tasks: int, n_locals: int, use_cache: bool):
+    """Run the schedule/release loop; return (elapsed_s, signatures, stats)."""
+    network = scale_free(
+        n_routers=n_routers, m_links=2, seed=1, servers_per_site=1
+    )
+    assert _spread(network, n_locals) < float("inf")
+    scheduler = FlexibleScheduler(use_cache=use_cache)
+    tasks = _workload(network, n_tasks, n_locals)
+    signatures = []
+    start = time.perf_counter()
+    for task in tasks:
+        schedule = scheduler.schedule(task, network)
+        signatures.append(
+            (
+                sorted(schedule.broadcast_tree.parent.items()),
+                sorted(schedule.upload_tree.parent.items()),
+                sorted(schedule.broadcast_edge_rates.items()),
+                sorted(schedule.upload_edge_rates.items()),
+            )
+        )
+        scheduler.release(schedule, network)
+    elapsed = time.perf_counter() - start
+    cache = routing.peek_cache(network)
+    stats = cache.stats.as_dict() if cache is not None else None
+    return elapsed, signatures, stats
+
+
+def _record(name: str, payload: dict) -> None:
+    try:
+        existing = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        existing = {}
+    existing[name] = payload
+    BENCH_JSON.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def _run_campaign(benchmark, n_routers: int, assert_speedup: bool) -> None:
+    n, n_tasks, n_locals = CAMPAIGNS[n_routers]
+    uncached_s, uncached_sig, _ = _campaign(n, n_tasks, n_locals, False)
+    cached_s, cached_sig, stats = run_once(
+        benchmark, _campaign, n, n_tasks, n_locals, True
+    )
+    assert cached_sig == uncached_sig, (
+        "cached and uncached schedulers diverged on the same workload"
+    )
+    speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
+    _record(
+        f"scale_free_{n}",
+        {
+            "n_routers": n,
+            "tasks": n_tasks,
+            "n_locals": n_locals,
+            "demand_gbps": DEMAND_GBPS,
+            "uncached_s": round(uncached_s, 4),
+            "cached_s": round(cached_s, 4),
+            "speedup": round(speedup, 2),
+            "cache_stats": stats,
+            "smoke": SMOKE,
+        },
+    )
+    if assert_speedup and not SKIP_TIMING:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"cache speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor "
+            f"on scale-free N={n}"
+        )
+
+
+def test_bench_scheduler_cache_scale_free_50(benchmark):
+    """Small instance: identity always, timing recorded, no floor."""
+    _run_campaign(benchmark, 50, assert_speedup=False)
+
+
+def test_bench_scheduler_cache_scale_free_200(benchmark):
+    """The acceptance campaign: byte-identical and >= 3x with the cache."""
+    _run_campaign(benchmark, 200, assert_speedup=True)

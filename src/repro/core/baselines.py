@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import NoPathError, SchedulingError
+from ..network import routing
 from ..network.graph import Network
 from ..network.paths import (
     PathResult,
@@ -44,11 +45,19 @@ class KspLoadBalancedScheduler(Scheduler):
     Args:
         k: candidate paths per flow (Yen's algorithm).
         min_rate_gbps: admission floor per flow.
+        use_cache: resolve the k-shortest candidates through the
+            network's :class:`~repro.network.routing.PathCache`.
+            ``None`` defers to the ``REPRO_PATH_CACHE`` switch.
     """
 
     name = "ksp-lb"
 
-    def __init__(self, k: int = 3, min_rate_gbps: float = MIN_RATE_GBPS) -> None:
+    def __init__(
+        self,
+        k: int = 3,
+        min_rate_gbps: float = MIN_RATE_GBPS,
+        use_cache: Optional[bool] = None,
+    ) -> None:
         if k < 1:
             raise SchedulingError(f"k must be >= 1, got {k}")
         if min_rate_gbps <= 0:
@@ -57,6 +66,7 @@ class KspLoadBalancedScheduler(Scheduler):
             )
         self._k = k
         self._min_rate = min_rate_gbps
+        self._use_cache = use_cache
 
     def _best_path(
         self,
@@ -72,9 +82,17 @@ class KspLoadBalancedScheduler(Scheduler):
         this schedule has already *planned* onto each edge, so this task's
         own flows spread across the candidates.
         """
-        candidates = k_shortest_paths(
-            network, source, destination, self._k, latency_weight(network)
+        cached = (
+            routing.cache_enabled() if self._use_cache is None else self._use_cache
         )
+        if cached:
+            candidates = routing.get_cache(network).k_shortest_paths(
+                source, destination, self._k, routing.LatencyWeightSpec(network)
+            )
+        else:
+            candidates = k_shortest_paths(
+                network, source, destination, self._k, latency_weight(network)
+            )
 
         def bottleneck(path: PathResult) -> float:
             return min(
@@ -178,23 +196,44 @@ class ChainScheduler(Scheduler):
 
     name = "chain"
 
-    def __init__(self, min_rate_gbps: float = MIN_RATE_GBPS) -> None:
+    def __init__(
+        self,
+        min_rate_gbps: float = MIN_RATE_GBPS,
+        use_cache: Optional[bool] = None,
+    ) -> None:
         if min_rate_gbps <= 0:
             raise SchedulingError(
                 f"min_rate_gbps must be > 0, got {min_rate_gbps}"
             )
         self._min_rate = min_rate_gbps
+        self._use_cache = use_cache
+
+    def _route(self, network: Network):
+        """A point-to-point router: cached SSSP extraction or Dijkstra.
+
+        The cached variant turns the nearest-neighbour sweep's ``k``
+        queries from one node into a single shared single-source pass.
+        """
+        cached = (
+            routing.cache_enabled() if self._use_cache is None else self._use_cache
+        )
+        if cached:
+            cache = routing.get_cache(network)
+            spec = routing.LatencyWeightSpec(network)
+            return lambda src, dst: cache.shortest_path(src, dst, spec)
+        weight = latency_weight(network)
+        return lambda src, dst: dijkstra(network, src, dst, weight)
 
     def _visit_order(self, task: AITask, network: Network) -> List[str]:
         """Nearest-neighbour order over terminals, starting at the root."""
-        weight = latency_weight(network)
+        route = self._route(network)
         remaining = list(task.local_nodes)
         order = [task.global_node]
         while remaining:
             current = order[-1]
             best = min(
                 remaining,
-                key=lambda node: (dijkstra(network, current, node, weight).weight, node),
+                key=lambda node: (route(current, node).weight, node),
             )
             order.append(best)
             remaining.remove(best)
@@ -203,11 +242,12 @@ class ChainScheduler(Scheduler):
     def _chain_tree(self, task: AITask, network: Network) -> TreeResult:
         """A TreeResult whose single branch follows the visit order."""
         order = self._visit_order(task, network)
+        route = self._route(network)
         weight = latency_weight(network)
         parent: Dict[str, str] = {}
         total = 0.0
         for closer, farther in zip(order, order[1:]):
-            segment = dijkstra(network, closer, farther, weight)
+            segment = route(closer, farther)
             for towards_root, away in zip(segment.nodes, segment.nodes[1:]):
                 if away == task.global_node or away in parent:
                     continue

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..errors import NoPathError, SchedulingError
+from ..network import routing
 from ..network.graph import Network
 from ..network.paths import dijkstra, latency_weight
 from ..tasks.aitask import AITask
@@ -41,29 +42,49 @@ class FixedScheduler(Scheduler):
     Args:
         min_rate_gbps: admission floor; scheduling fails if any flow
             would receive less than this.
+        use_cache: resolve shortest paths through the network's
+            :class:`~repro.network.routing.PathCache` (latency weights
+            survive reservations, so hits are common).  ``None`` defers
+            to the ``REPRO_PATH_CACHE`` environment switch.
     """
 
     name = "fixed-spff"
 
-    def __init__(self, min_rate_gbps: float = MIN_RATE_GBPS) -> None:
+    def __init__(
+        self,
+        min_rate_gbps: float = MIN_RATE_GBPS,
+        use_cache: "bool | None" = None,
+    ) -> None:
         if min_rate_gbps <= 0:
             raise SchedulingError(
                 f"min_rate_gbps must be > 0, got {min_rate_gbps}"
             )
         self._min_rate = min_rate_gbps
+        self._use_cache = use_cache
 
     def schedule(self, task: AITask, network: Network) -> TaskSchedule:
-        weight = latency_weight(network)
+        cached = (
+            routing.cache_enabled() if self._use_cache is None else self._use_cache
+        )
+        if cached:
+            cache = routing.get_cache(network)
+            spec = routing.LatencyWeightSpec(network)
+
+            def route(src: str, dst: str) -> Tuple[str, ...]:
+                return cache.shortest_path(src, dst, spec).nodes
+
+        else:
+            weight = latency_weight(network)
+
+            def route(src: str, dst: str) -> Tuple[str, ...]:
+                return dijkstra(network, src, dst, weight).nodes
+
         broadcast_paths: Dict[str, Tuple[str, ...]] = {}
         upload_paths: Dict[str, Tuple[str, ...]] = {}
         try:
             for local in task.local_nodes:
-                broadcast_paths[local] = dijkstra(
-                    network, task.global_node, local, weight
-                ).nodes
-                upload_paths[local] = dijkstra(
-                    network, local, task.global_node, weight
-                ).nodes
+                broadcast_paths[local] = route(task.global_node, local)
+                upload_paths[local] = route(local, task.global_node)
         except NoPathError as exc:
             raise SchedulingError(
                 f"task {task.task_id!r}: {exc}"

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..errors import NoPathError, SchedulingError
+from ..network import routing
 from ..network.auxiliary import AuxiliaryGraphBuilder, AuxiliaryWeights
 from ..network.graph import Network
 from ..network.paths import TreeResult, terminal_tree
@@ -51,6 +52,11 @@ class FlexibleScheduler(Scheduler):
         weights: auxiliary-graph blending coefficients; the defaults
             balance bandwidth saving against latency as in the poster.
         min_rate_gbps: admission floor per tree edge.
+        use_cache: route through the epoch-keyed
+            :class:`~repro.network.routing.PathCache` (byte-identical
+            results, fewer Dijkstra passes).  ``None`` — the default —
+            defers to the ``REPRO_PATH_CACHE`` environment switch at
+            schedule time.
     """
 
     name = "flexible-mst"
@@ -59,6 +65,7 @@ class FlexibleScheduler(Scheduler):
         self,
         weights: Optional[AuxiliaryWeights] = None,
         min_rate_gbps: float = MIN_RATE_GBPS,
+        use_cache: Optional[bool] = None,
     ) -> None:
         if min_rate_gbps <= 0:
             raise SchedulingError(
@@ -66,10 +73,16 @@ class FlexibleScheduler(Scheduler):
             )
         self._weights = weights or AuxiliaryWeights()
         self._min_rate = min_rate_gbps
+        self._use_cache = use_cache
 
     @property
     def weights(self) -> AuxiliaryWeights:
         return self._weights
+
+    def _cache_enabled(self) -> bool:
+        if self._use_cache is None:
+            return routing.cache_enabled()
+        return self._use_cache
 
     def _build_tree(self, task: AITask, network: Network) -> TreeResult:
         builder = AuxiliaryGraphBuilder(
@@ -79,6 +92,10 @@ class FlexibleScheduler(Scheduler):
             weights=self._weights,
         )
         try:
+            if self._cache_enabled():
+                return routing.get_cache(network).terminal_tree(
+                    task.global_node, list(task.local_nodes), builder
+                )
             return terminal_tree(
                 network,
                 task.global_node,

@@ -11,7 +11,7 @@ whose weights blend bandwidth consumption with latency.
 
 from .auxiliary import AuxiliaryGraphBuilder, AuxiliaryWeights
 from .graph import Network
-from .link import Link, Reservation
+from .link import Link, MutationEpoch, Reservation
 from .node import Node, NodeKind
 from .paths import (
     PathResult,
@@ -21,6 +21,18 @@ from .paths import (
     minimum_spanning_tree,
     path_latency_ms,
     terminal_tree,
+)
+from .routing import (
+    CacheStats,
+    HopWeightSpec,
+    LatencyWeightSpec,
+    PathCache,
+    ShortestPathTree,
+    cache_enabled,
+    get_cache,
+    multi_source_distances,
+    peek_cache,
+    sssp,
 )
 from .state import LinkUtilisation, NetworkState
 from .topologies import (
@@ -50,6 +62,17 @@ __all__ = [
     "minimum_spanning_tree",
     "path_latency_ms",
     "terminal_tree",
+    "MutationEpoch",
+    "CacheStats",
+    "HopWeightSpec",
+    "LatencyWeightSpec",
+    "PathCache",
+    "ShortestPathTree",
+    "cache_enabled",
+    "get_cache",
+    "multi_source_distances",
+    "peek_cache",
+    "sssp",
     "LinkUtilisation",
     "NetworkState",
     "dumbbell",

@@ -136,3 +136,58 @@ class AuxiliaryGraphBuilder:
     def weight_fn(self) -> WeightFn:
         """The weight function in the form path algorithms expect."""
         return self.edge_weight
+
+    # ------------------------------------------------------------------
+    # PathCache weight-spec protocol (see repro.network.routing)
+    # ------------------------------------------------------------------
+    def cache_token(self) -> object:
+        """Hashable identity of this weight function's *semantics*.
+
+        Two builders with the same token evaluate identically on any
+        link state, which is what lets the routing cache share entries
+        between them.  The owner is part of the weight (reuse discounts,
+        admission bypass), so it lands in the token — *except* when the
+        owner currently holds nothing anywhere, where every such builder
+        degenerates to the same owner-free weight and the token says so
+        (``None``).  That is the common case: each new task's first tree
+        is built before it has reserved a single edge, so fresh tasks
+        with equal demand share cached shortest-path state.
+        """
+        owner: "str | None" = self._owner or None
+        if owner is not None and not self._network.has_reservations(owner):
+            owner = None
+        w = self._weights
+        return (
+            "aux",
+            self._demand,
+            owner,
+            w.alpha_bandwidth,
+            w.beta_latency,
+            w.gamma_congestion,
+            w.reuse_discount,
+        )
+
+    def shareable(self) -> bool:
+        """Whether cached results under this weight can ever be re-used.
+
+        Owner-specific weights (the owner already holds capacity) carry
+        a token no other builder will produce — each task id schedules
+        at most one tree per procedure — so caching their results would
+        only pollute the LRU.  The routing cache skips storage for them.
+        """
+        return (
+            self._owner == ""
+            or not self._network.has_reservations(self._owner)
+        )
+
+    def recording_weight_fn(self, reads: dict) -> WeightFn:
+        """Like :meth:`weight_fn`, but reporting every link it reads.
+
+        ``reads`` maps each directed edge evaluated to ``(link,
+        generation, value)`` — the routing cache's per-edge invalidation
+        record: a cached result stays valid until one of *exactly these*
+        links changes, not until anything anywhere does.
+        """
+        from .routing import recording_weight
+
+        return recording_weight(self._network, self.edge_weight, reads)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CapacityError, TopologyError
-from .link import Link
+from .link import Link, MutationEpoch
 from .node import Node, NodeKind
 
 #: An edge expressed as the (src, dst) node names of a traversal direction.
@@ -31,6 +31,15 @@ class Network:
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._adjacency: Dict[str, List[str]] = {}
+        # One shared mutation epoch for every link; see Link.generation.
+        self._epoch = MutationEpoch()
+        # Structure counter: bumped when nodes/links are *added*.  Link
+        # generations cover state changes on existing links, but a new
+        # link offers paths no cached Dijkstra ever read, so the routing
+        # cache must key on structure separately.
+        self._topology_version = 0
+        # Lazily attached by repro.network.routing.get_cache().
+        self._path_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -58,6 +67,8 @@ class Network:
         )
         self._nodes[name] = node
         self._adjacency[name] = []
+        self._topology_version += 1
+        self._epoch.bump()
         return node
 
     def add_link(
@@ -80,6 +91,9 @@ class Network:
         if self._key(u, v) in self._links:
             raise TopologyError(f"duplicate link {u}-{v}")
         link = Link(u, v, capacity_gbps, distance_km=distance_km, latency_ms=latency_ms)
+        link._epoch = self._epoch
+        self._epoch.bump()
+        self._topology_version += 1
         self._links[self._key(u, v)] = link
         self._adjacency[u].append(v)
         self._adjacency[v].append(u)
@@ -94,6 +108,40 @@ class Network:
     # ------------------------------------------------------------------
     def __contains__(self, name: str) -> bool:
         return name in self._nodes
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter of all state mutations across the network.
+
+        Bumped whenever any link's reservations or failure state change
+        (and on topology growth).  Two equal epochs guarantee that *no*
+        link changed in between, which lets the routing cache skip
+        per-edge generation checks entirely.
+        """
+        return self._epoch.value
+
+    @property
+    def topology_version(self) -> int:
+        """Monotone counter of structural growth (nodes/links added).
+
+        Separate from :attr:`epoch`: link generations can prove that no
+        *existing* link changed, but a newly added link offers paths no
+        cached computation ever read, so the routing cache invalidates
+        on any version change.
+        """
+        return self._topology_version
+
+    def link_generation(self, u: str, v: str) -> int:
+        """The mutation generation of one link (see Link.generation)."""
+        return self.link(u, v).generation
+
+    def has_reservations(self, owner: str) -> bool:
+        """True when ``owner`` holds rate anywhere in the network.
+
+        Early-exits on the first hit, so the common "fresh owner" probe
+        used by the auxiliary-graph cache token is cheap.
+        """
+        return any(link.holds(owner) for link in self._links.values())
 
     @property
     def node_count(self) -> int:

@@ -24,6 +24,26 @@ class Reservation:
     gbps: float
 
 
+class MutationEpoch:
+    """A shared monotone counter of network mutations.
+
+    :class:`~repro.network.graph.Network` hands one instance to every
+    link it owns, so any state change anywhere in the topology —
+    reservation, release, failure, repair — advances a single epoch the
+    routing cache (:mod:`repro.network.routing`) can compare against for
+    a cheap "nothing changed at all" fast path.  Links built standalone
+    get a private epoch, keeping :class:`Link` usable on its own.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> None:
+        self.value += 1
+
+
 class Link:
     """An undirected physical link with independent per-direction capacity.
 
@@ -59,7 +79,9 @@ class Link:
         self.v = v
         self._forced_failed = False
         self._endpoints_down = 0
-        self.capacity_gbps = float(capacity_gbps)
+        self._generation = 0
+        self._epoch = MutationEpoch()
+        self._capacity_gbps = float(capacity_gbps)
         self.distance_km = float(distance_km)
         self._latency_ms = (
             float(latency_ms) if latency_ms is not None else propagation_ms(distance_km)
@@ -80,6 +102,44 @@ class Link:
         return self._latency_ms
 
     @property
+    def capacity_gbps(self) -> float:
+        """Usable rate per direction.
+
+        Writable — partial-degradation scenarios may shrink a live
+        link — and every change bumps the generation, since capacity
+        feeds residuals, utilisation, and admission in every cached
+        weight function.
+        """
+        return self._capacity_gbps
+
+    @capacity_gbps.setter
+    def capacity_gbps(self, value: float) -> None:
+        value = float(value)
+        if value <= 0:
+            raise ConfigurationError(
+                f"link {self.u}-{self.v}: capacity must be > 0 Gbps, got {value}"
+            )
+        if value != self._capacity_gbps:
+            self._capacity_gbps = value
+            self._bump()
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter of this link's state changes.
+
+        Bumped on every reservation, release, failure, or repair that
+        actually alters the link.  Routing results computed while the
+        generation was ``g`` remain valid for this link exactly as long
+        as ``generation == g`` still holds — the per-edge invalidation
+        contract of :class:`~repro.network.routing.PathCache`.
+        """
+        return self._generation
+
+    def _bump(self) -> None:
+        self._generation += 1
+        self._epoch.bump()
+
+    @property
     def failed(self) -> bool:
         """Whether the link is out of service.
 
@@ -93,11 +153,15 @@ class Link:
     @failed.setter
     def failed(self, value: bool) -> None:
         """Set the span's own failure state (endpoint state is untouched)."""
-        self._forced_failed = bool(value)
+        value = bool(value)
+        if value != self._forced_failed:
+            self._forced_failed = value
+            self._bump()
 
     def mark_endpoint_down(self) -> None:
         """Record one endpoint node going down (counted, not idempotent)."""
         self._endpoints_down += 1
+        self._bump()
 
     def mark_endpoint_up(self) -> None:
         """Record one endpoint node coming back."""
@@ -106,6 +170,7 @@ class Link:
                 f"link {self.u}-{self.v}: endpoint repaired while none down"
             )
         self._endpoints_down -= 1
+        self._bump()
 
     @property
     def endpoints(self) -> Tuple[str, str]:
@@ -135,6 +200,10 @@ class Link:
         """Rate currently reserved by ``owner`` in that direction."""
         return self._reservations[self._direction(src, dst)].get(owner, 0.0)
 
+    def holds(self, owner: str) -> bool:
+        """True when ``owner`` has a reservation in either direction."""
+        return any(owner in bucket for bucket in self._reservations.values())
+
     def reserve(self, src: str, dst: str, gbps: float, owner: str) -> None:
         """Reserve ``gbps`` for ``owner`` in the ``src -> dst`` direction.
 
@@ -158,6 +227,7 @@ class Link:
             )
         bucket = self._reservations[direction]
         bucket[owner] = bucket.get(owner, 0.0) + gbps
+        self._bump()
 
     def release(self, src: str, dst: str, owner: str) -> float:
         """Release everything ``owner`` holds in that direction.
@@ -166,13 +236,18 @@ class Link:
             The rate released (0.0 if the owner held nothing).
         """
         direction = self._direction(src, dst)
-        return self._reservations[direction].pop(owner, 0.0)
+        released = self._reservations[direction].pop(owner, 0.0)
+        if released:
+            self._bump()
+        return released
 
     def release_owner(self, owner: str) -> float:
         """Release the owner's reservations in *both* directions."""
         total = 0.0
         for direction in list(self._reservations):
             total += self._reservations[direction].pop(owner, 0.0)
+        if total:
+            self._bump()
         return total
 
     def reservations(self, src: str, dst: str) -> Iterator[Reservation]:

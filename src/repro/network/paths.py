@@ -347,6 +347,26 @@ def terminal_tree(
         for b in terminal_list[i + 1 :]:
             closure[(a, b)] = dijkstra(network, a, b, weight)
 
+    return tree_from_metric_closure(root, terminal_list, closure, weight)
+
+
+def tree_from_metric_closure(
+    root: str,
+    terminal_list: Sequence[str],
+    closure: Dict[Tuple[str, str], PathResult],
+    weight: WeightFn,
+) -> TreeResult:
+    """MST over a precomputed metric closure, expanded to physical hops.
+
+    The second half of :func:`terminal_tree`, split out so the routing
+    kernel (:mod:`repro.network.routing`) can feed it a closure built
+    from cached single-source shortest-path trees and still produce a
+    byte-identical result.  ``closure`` must hold one
+    :class:`PathResult` per ordered terminal pair ``(a, b)`` with ``a``
+    before ``b`` in ``terminal_list``; the reverse direction is derived
+    by reversal, exactly as the uncached construction does.
+    """
+
     def closure_path(a: str, b: str) -> PathResult:
         if (a, b) in closure:
             return closure[(a, b)]

@@ -1,0 +1,607 @@
+"""The routing kernel: epoch-keyed shortest-path caching.
+
+Scheduling dominates sweep wall-time, and almost all of it is Dijkstra:
+the flexible scheduler's metric closure runs one point-to-point query per
+terminal *pair*, twice per task, even when nothing the paths depend on
+has changed.  This module centralises that work behind two ideas:
+
+* **Single-source trees instead of point-to-point queries.**
+  :func:`sssp` runs Dijkstra once per *source* and keeps the whole
+  distance/predecessor tree, so a metric closure over ``T`` terminals
+  costs ``T - 1`` passes instead of ``T·(T-1)/2``, and a path to any
+  destination is an O(path) extraction.  Extraction is bit-identical to
+  :func:`repro.network.paths.dijkstra` because the relaxation loop is
+  the same code with the early exit removed — a destination's
+  predecessor chain is fully settled before the search would have
+  stopped there.
+
+* **Epoch-keyed memoisation with per-edge invalidation.**
+  Every :class:`~repro.network.link.Link` carries a monotone
+  ``generation`` bumped on any state change, and the
+  :class:`~repro.network.graph.Network` aggregates them into a global
+  ``epoch``.  :class:`PathCache` records, for every cached result, the
+  generation *and weight value* of each directed edge the weight
+  function actually read.  A lookup revalidates in three tiers: equal
+  network epoch — nothing anywhere changed — is a free hit; otherwise
+  each read edge whose generation moved has its weight re-evaluated,
+  and the entry survives when every value is unchanged (a reservation
+  that came and went leaves latency-based weights untouched, and a
+  completed task restores auxiliary weights exactly).  Any differing
+  value drops the entry.  Because a deterministic algorithm that re-reads
+  the same values replays the same execution, a surviving entry is
+  byte-identical to a recompute.
+
+Weight functions enter the cache via a small *spec* protocol — a
+``cache_token()`` identifying the weight semantics and a
+``recording_weight_fn(reads)`` that reports every link it reads (the
+:class:`~repro.network.auxiliary.AuxiliaryGraphBuilder` implements it
+natively; :class:`LatencyWeightSpec` / :class:`HopWeightSpec` wrap the
+plain weights).  Schedulers opt out per instance (``use_cache=False``)
+or process-wide with ``REPRO_PATH_CACHE=0``; cached and uncached runs
+are byte-identical — pinned by golden files and the backend-equivalence
+tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import NoPathError, TopologyError
+from .graph import Network
+from .paths import (
+    PathResult,
+    TreeResult,
+    WeightFn,
+    hop_weight,
+    k_shortest_paths,
+    latency_weight,
+    tree_from_metric_closure,
+)
+
+#: A directed edge read record: (link, generation at read, weight value).
+ReadLog = Dict[Tuple[str, str], Tuple[Any, int, float]]
+
+#: Environment switch: set to 0/false/off to disable caching process-wide.
+CACHE_ENV_VAR = "REPRO_PATH_CACHE"
+
+
+def cache_enabled() -> bool:
+    """Whether path caching is enabled for schedulers left on "auto".
+
+    Controlled by ``REPRO_PATH_CACHE``; any of ``0``, ``false``, ``off``,
+    ``no`` (case-insensitive) disables, everything else (including the
+    variable being unset) enables.  Read at schedule time, so flipping
+    the variable affects worker processes spawned afterwards too.
+    """
+    return os.environ.get(CACHE_ENV_VAR, "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Weight specs: cacheable identities for weight functions
+# ---------------------------------------------------------------------------
+
+def recording_weight(network: Network, base: WeightFn, reads: ReadLog) -> WeightFn:
+    """Wrap ``base`` so every evaluation lands in the ``reads`` log.
+
+    The one place the read-record format ``(link, generation, value)``
+    is defined; every spec's ``recording_weight_fn`` delegates here so a
+    future format change (e.g. per-direction generations) has a single
+    home.
+    """
+
+    def weight(src: str, dst: str) -> float:
+        value = base(src, dst)
+        link = network.link(src, dst)
+        reads[(src, dst)] = (link, link.generation, value)
+        return value
+
+    return weight
+
+
+class LatencyWeightSpec:
+    """Cache spec for :func:`repro.network.paths.latency_weight`.
+
+    Latency weights depend only on a link's latency (static) and its
+    failure state, so revalidation after unrelated mutations (e.g.
+    reservations) is nearly always a hit.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+
+    def cache_token(self) -> Hashable:
+        return ("latency",)
+
+    def shareable(self) -> bool:
+        return True
+
+    def weight_fn(self) -> WeightFn:
+        return latency_weight(self._network)
+
+    def recording_weight_fn(self, reads: ReadLog) -> WeightFn:
+        return recording_weight(self._network, latency_weight(self._network), reads)
+
+
+class HopWeightSpec:
+    """Cache spec for :func:`repro.network.paths.hop_weight`."""
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+
+    def cache_token(self) -> Hashable:
+        return ("hop",)
+
+    def shareable(self) -> bool:
+        return True
+
+    def weight_fn(self) -> WeightFn:
+        return hop_weight(self._network)
+
+    def recording_weight_fn(self, reads: ReadLog) -> WeightFn:
+        return recording_weight(self._network, hop_weight(self._network), reads)
+
+
+# ---------------------------------------------------------------------------
+# Single-source shortest-path trees
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShortestPathTree:
+    """A full Dijkstra tree from one source under one weight function.
+
+    Attributes:
+        source: the tree's root.
+        distance: settled node -> least weight from the source.
+        previous: settled node -> predecessor on its shortest path.
+    """
+
+    source: str
+    distance: Dict[str, float]
+    previous: Dict[str, str]
+
+    def reaches(self, destination: str) -> bool:
+        return destination == self.source or destination in self.previous
+
+    def path_to(self, destination: str) -> PathResult:
+        """Extract the shortest path to ``destination``.
+
+        Identical to ``dijkstra(network, source, destination, weight)``
+        on the same network state.
+
+        Raises:
+            NoPathError: if the destination was unreachable.
+        """
+        if destination == self.source:
+            return PathResult(nodes=(self.source,), weight=0.0)
+        if destination not in self.previous:
+            raise NoPathError(self.source, destination)
+        nodes = [destination]
+        while nodes[-1] != self.source:
+            nodes.append(self.previous[nodes[-1]])
+        nodes.reverse()
+        return PathResult(nodes=tuple(nodes), weight=self.distance[destination])
+
+
+def sssp(network: Network, source: str, weight: WeightFn) -> ShortestPathTree:
+    """Dijkstra from ``source`` to every reachable node.
+
+    The relaxation loop mirrors :func:`repro.network.paths.dijkstra`
+    exactly (same tie-breaking counter, same ``1e-15`` epsilon, same
+    neighbour order) with the destination early-exit removed, so
+    :meth:`ShortestPathTree.path_to` reproduces its output bit-for-bit.
+    """
+    network.node(source)
+    distance: Dict[str, float] = {source: 0.0}
+    previous: Dict[str, str] = {}
+    counter = itertools.count()
+    frontier: List[Tuple[float, int, str]] = [(0.0, next(counter), source)]
+    settled: set = set()
+    while frontier:
+        dist, _tick, current = heapq.heappop(frontier)
+        if current in settled:
+            continue
+        settled.add(current)
+        for neighbor in network.neighbors(current):
+            if neighbor in settled:
+                continue
+            edge_cost = weight(current, neighbor)
+            if math.isinf(edge_cost):
+                continue
+            if edge_cost < 0:
+                raise TopologyError(
+                    f"negative edge weight {edge_cost} on {current}->{neighbor}"
+                )
+            candidate = dist + edge_cost
+            if candidate < distance.get(neighbor, math.inf) - 1e-15:
+                distance[neighbor] = candidate
+                previous[neighbor] = current
+                heapq.heappush(frontier, (candidate, next(counter), neighbor))
+    return ShortestPathTree(source=source, distance=distance, previous=previous)
+
+
+def multi_source_distances(
+    network: Network,
+    sources: Sequence[str],
+    weight: Optional[WeightFn] = None,
+) -> Tuple[Dict[str, float], Dict[str, str]]:
+    """One Dijkstra pass from *all* sources at once.
+
+    Returns ``(distance, nearest)``: for every reachable node, the least
+    weight to its closest source and which source that is.  This is the
+    single-pass Voronoi partition classic Steiner heuristics (Mehlhorn)
+    build on.  No scheduler calls it yet — the schedulers' closures need
+    exact per-pair paths to stay byte-identical — but it is the kernel
+    primitive for coverage checks (the scheduler benchmark uses it to
+    assert every router reaches a server) and for a future
+    Mehlhorn-style approximate closure.  Ties break towards the earlier
+    source in ``sources``.
+    """
+    if not sources:
+        raise TopologyError("multi_source_distances needs at least one source")
+    if weight is None:
+        weight = latency_weight(network)
+    distance: Dict[str, float] = {}
+    nearest: Dict[str, str] = {}
+    counter = itertools.count()
+    frontier: List[Tuple[float, int, str, str]] = []
+    for source in sources:
+        network.node(source)
+        if source not in distance:
+            distance[source] = 0.0
+            nearest[source] = source
+            frontier.append((0.0, next(counter), source, source))
+    heapq.heapify(frontier)
+    settled: set = set()
+    while frontier:
+        dist, _tick, current, origin = heapq.heappop(frontier)
+        if current in settled:
+            continue
+        settled.add(current)
+        nearest[current] = origin
+        for neighbor in network.neighbors(current):
+            if neighbor in settled:
+                continue
+            edge_cost = weight(current, neighbor)
+            if math.isinf(edge_cost):
+                continue
+            if edge_cost < 0:
+                raise TopologyError(
+                    f"negative edge weight {edge_cost} on {current}->{neighbor}"
+                )
+            candidate = dist + edge_cost
+            if candidate < distance.get(neighbor, math.inf) - 1e-15:
+                distance[neighbor] = candidate
+                heapq.heappush(
+                    frontier, (candidate, next(counter), neighbor, origin)
+                )
+    return distance, nearest
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`PathCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    revalidations: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "revalidations": self.revalidations,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class _Entry:
+    """One cached computation: its value (or raised error) and read log."""
+
+    value: Any
+    error: Optional[NoPathError]
+    reads: ReadLog
+    epoch: int
+    topology_version: int
+
+
+class PathCache:
+    """Epoch-keyed memoisation of routing results over one network.
+
+    Keys combine the query (kind, endpoints, ``k``) with the weight
+    spec's ``cache_token()``; validity is the per-edge read log described
+    in the module docstring.  Entries are LRU-evicted beyond
+    ``max_entries``.  ``NoPathError`` outcomes are cached too — an
+    unreachable verdict is exactly as state-dependent as a path.
+
+    The cache never returns a result that differs from recomputing: a
+    surviving entry's recorded reads all still evaluate to the recorded
+    values, and the underlying algorithms are deterministic functions of
+    those reads.
+    """
+
+    def __init__(self, network: Network, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise TopologyError(f"max_entries must be >= 1, got {max_entries}")
+        self._network = network
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def resize(self, max_entries: int) -> None:
+        """Change the LRU bound, evicting oldest entries if shrinking."""
+        if max_entries < 1:
+            raise TopologyError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def prune(self) -> int:
+        """Drop every entry that read a link whose generation has moved.
+
+        Called by the orchestrator after failure/repair events so a long
+        campaign with many faults does not accumulate dead entries; a
+        lookup would lazily catch staleness anyway, pruning reclaims
+        memory eagerly.  Deliberately generation-strict (no weight
+        revalidation): without a live spec in hand there is no weight
+        function that is guaranteed current, and over-dropping is always
+        safe.  Returns how many entries were dropped.
+        """
+        epoch = self._network.epoch
+        version = self._network.topology_version
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.topology_version != version
+            or (
+                entry.epoch != epoch
+                and any(
+                    link.generation != generation
+                    for link, generation, _value in entry.reads.values()
+                )
+            )
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    # -- validation --------------------------------------------------------
+
+    def _validate(self, entry: _Entry, spec: Any) -> bool:
+        """True when the entry's recorded reads still hold under ``spec``.
+
+        ``spec`` is the weight spec of the *current* lookup; its token
+        matched the entry's key, and the token contract — the token
+        fully determines the weight as a pure function of link state —
+        makes it the authority for re-evaluating edges whose generation
+        moved.  Edges whose generation is unchanged need no re-check:
+        unchanged link state plus an equal token implies an unchanged
+        value.
+
+        Structural growth invalidates unconditionally: a new link offers
+        paths the cached run never read, so the read log cannot vouch
+        for the result.
+        """
+        if entry.topology_version != self._network.topology_version:
+            return False
+        epoch = self._network.epoch
+        if entry.epoch == epoch:
+            return True
+        weight = None
+        for (src, dst), (link, generation, value) in entry.reads.items():
+            if link.generation == generation:
+                continue
+            if weight is None:
+                self.stats.revalidations += 1
+                weight = spec.weight_fn()
+            current = weight(src, dst)
+            if current != value:
+                return False
+            entry.reads[(src, dst)] = (link, link.generation, current)
+        entry.epoch = epoch
+        return True
+
+    def _get(self, key: Hashable, spec: Any, compute) -> Any:
+        entry = self._entries.get(key)
+        if entry is not None:
+            if self._validate(entry, spec):
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                if entry.error is not None:
+                    # Clear the stored traceback before re-raising: each
+                    # raise appends a segment, and a shared instance
+                    # raised on every hit would grow its chain (and pin
+                    # caller frames) without bound.
+                    raise entry.error.with_traceback(None)
+                return entry.value
+            del self._entries[key]
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        epoch = self._network.epoch
+        version = self._network.topology_version
+        reads: ReadLog = {}
+        try:
+            value = compute(spec.recording_weight_fn(reads))
+        except NoPathError as exc:
+            self._store(
+                key,
+                _Entry(
+                    value=None,
+                    error=exc,
+                    reads=reads,
+                    epoch=epoch,
+                    topology_version=version,
+                ),
+            )
+            raise
+        self._store(
+            key,
+            _Entry(
+                value=value,
+                error=None,
+                reads=reads,
+                epoch=epoch,
+                topology_version=version,
+            ),
+        )
+        return value
+
+    def _store(self, key: Hashable, entry: _Entry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- cached queries ----------------------------------------------------
+
+    def sssp(
+        self,
+        source: str,
+        spec: Any,
+        *,
+        token: Optional[Hashable] = None,
+        shareable: Optional[bool] = None,
+    ) -> ShortestPathTree:
+        """The full single-source tree from ``source`` under ``spec``.
+
+        ``token``/``shareable`` let a caller issuing many lookups under
+        one spec (e.g. :meth:`terminal_tree`) evaluate
+        ``spec.cache_token()`` / ``spec.shareable()`` — each an
+        all-links scan for auxiliary weights — once instead of per
+        source.
+        """
+        if shareable is None:
+            shareable = spec.shareable()
+        if not shareable:
+            # Nothing with this spec's token will ever be looked up
+            # again (e.g. an owner-specific auxiliary weight for a task
+            # that already holds capacity): skip recording, storage, and
+            # LRU traffic entirely and just run the computation.
+            self.stats.misses += 1
+            return sssp(self._network, source, spec.weight_fn())
+        if token is None:
+            token = spec.cache_token()
+        key = ("sssp", source, token)
+        return self._get(
+            key, spec, lambda weight: sssp(self._network, source, weight)
+        )
+
+    def shortest_path(self, source: str, destination: str, spec: Any) -> PathResult:
+        """Bit-identical replacement for a point-to-point Dijkstra query."""
+        self._network.node(destination)
+        return self.sssp(source, spec).path_to(destination)
+
+    def k_shortest_paths(
+        self, source: str, destination: str, k: int, spec: Any
+    ) -> List[PathResult]:
+        """Cached Yen's algorithm under ``spec``'s base weight.
+
+        The spur searches read only the base weight (bans are derived
+        from earlier outputs, themselves functions of recorded reads),
+        so the standard read-log validity argument covers the whole run.
+        """
+        if not spec.shareable():
+            self.stats.misses += 1
+            return k_shortest_paths(
+                self._network, source, destination, k, spec.weight_fn()
+            )
+        key = ("ksp", source, destination, k, spec.cache_token())
+        return self._get(
+            key,
+            spec,
+            lambda weight: k_shortest_paths(
+                self._network, source, destination, k, weight
+            ),
+        )
+
+    def terminal_tree(
+        self, root: str, terminals: Sequence[str], spec: Any
+    ) -> TreeResult:
+        """The flexible scheduler's tree via cached single-source passes.
+
+        Builds the metric closure from one :meth:`sssp` per terminal
+        (except the last — closure pairs are ordered) and finishes with
+        the shared :func:`~repro.network.paths.tree_from_metric_closure`,
+        so the result is byte-identical to the uncached
+        :func:`~repro.network.paths.terminal_tree`.
+        """
+        terminal_list = list(dict.fromkeys([root, *terminals]))
+        if len(terminal_list) == 1:
+            return TreeResult(root=root, parent={}, weight=0.0)
+        for terminal in terminal_list:
+            self._network.node(terminal)
+        # One shareable/token evaluation for the whole tree: the network
+        # is not mutated during this read-only construction, so the
+        # answers cannot change between sources.
+        shareable = spec.shareable()
+        token = spec.cache_token() if shareable else None
+        closure: Dict[Tuple[str, str], PathResult] = {}
+        for i, a in enumerate(terminal_list[:-1]):
+            tree = self.sssp(a, spec, token=token, shareable=shareable)
+            for b in terminal_list[i + 1 :]:
+                closure[(a, b)] = tree.path_to(b)
+        return tree_from_metric_closure(
+            root, terminal_list, closure, spec.weight_fn()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-network cache attachment
+# ---------------------------------------------------------------------------
+
+def get_cache(network: Network, max_entries: Optional[int] = None) -> PathCache:
+    """The network's :class:`PathCache`, created on first use.
+
+    One cache per :class:`Network` instance: scratch copies made with
+    ``copy_topology`` start cold, and sweep workers each cache their own
+    private network.  ``max_entries`` (default 1024 at creation) resizes
+    an already-attached cache rather than being silently ignored; omit
+    it to leave the current bound alone.
+    """
+    cache = network._path_cache
+    if cache is None:
+        cache = PathCache(
+            network, max_entries=1024 if max_entries is None else max_entries
+        )
+        network._path_cache = cache
+    elif max_entries is not None and max_entries != cache.max_entries:
+        cache.resize(max_entries)
+    return cache
+
+
+def peek_cache(network: Network) -> Optional[PathCache]:
+    """The network's cache if one was ever attached, else ``None``."""
+    return network._path_cache

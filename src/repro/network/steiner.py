@@ -13,43 +13,31 @@ scheduler.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
 from typing import Dict, Optional, Sequence
 
 from ..errors import ConfigurationError, NoPathError
 from .graph import Network
 from .paths import WeightFn, dijkstra, latency_weight
+from .routing import sssp
 
 
 def _all_pairs_from(
     network: Network, sources: Sequence[str], weight: WeightFn
 ) -> Dict[str, Dict[str, float]]:
-    """Shortest-path cost from each source to every node (Dijkstra)."""
+    """Shortest-path cost from each source to every node.
+
+    One single-source pass per source via the routing kernel's
+    :func:`~repro.network.routing.sssp` — the same tree construction the
+    schedulers' path cache memoises.
+    """
     names = network.node_names()
     result: Dict[str, Dict[str, float]] = {}
-    counter = itertools.count()
     for source in sources:
-        dist: Dict[str, float] = {source: 0.0}
-        frontier = [(0.0, next(counter), source)]
-        settled = set()
-        while frontier:
-            d, _t, u = heapq.heappop(frontier)
-            if u in settled:
-                continue
-            settled.add(u)
-            for v in network.neighbors(u):
-                if v in settled:
-                    continue
-                w = weight(u, v)
-                if math.isinf(w):
-                    continue
-                nd = d + w
-                if nd < dist.get(v, math.inf) - 1e-15:
-                    dist[v] = nd
-                    heapq.heappush(frontier, (nd, next(counter), v))
-        result[source] = {name: dist.get(name, math.inf) for name in names}
+        tree = sssp(network, source, weight)
+        result[source] = {
+            name: tree.distance.get(name, math.inf) for name in names
+        }
     return result
 
 

@@ -19,6 +19,7 @@ from ..core.evaluation import EvaluationConfig, ScheduleEvaluator
 from ..core.metrics import TaskReport
 from ..core.rescheduling import ReschedulingPolicy
 from ..errors import OrchestrationError, PlacementError, SchedulingError
+from ..network import routing
 from ..network.graph import Network
 from ..tasks.aitask import AITask
 from .database import Database, TaskRecord, TaskStatus
@@ -261,6 +262,20 @@ class Orchestrator:
         """Move the control-plane clock forward (event log timestamps)."""
         self._clock_ms = max(self._clock_ms, time_ms)
 
+    def _prune_path_cache(self) -> None:
+        """Eagerly drop routing-cache entries made stale by a topology event.
+
+        Failures and repairs change weights on the affected links; every
+        cached shortest-path result that read one of them is dead.  The
+        cache would notice lazily on the next lookup, but campaigns with
+        long fault timelines reschedule in bursts right after each event
+        — pruning here keeps memory bounded and the post-event lookups
+        cheap.
+        """
+        cache = routing.peek_cache(self.network)
+        if cache is not None:
+            cache.prune()
+
     def handle_link_failure(self, u: str, v: str) -> Dict[str, bool]:
         """Fail a link and repair every running task routed across it.
 
@@ -278,6 +293,7 @@ class Orchestrator:
             if owner in {r.task.task_id for r in self.database.running()}
         ]
         self.network.fail_link(u, v)
+        self._prune_path_cache()
         self.database.log(self._clock_ms, f"link {u}-{v} failed; {len(affected)} tasks affected")
         outcomes: Dict[str, bool] = {}
         for task_id in affected:
@@ -305,6 +321,7 @@ class Orchestrator:
     def handle_link_restore(self, u: str, v: str) -> None:
         """Bring a failed link back (re-optimisation is the policy's job)."""
         self.network.restore_link(u, v)
+        self._prune_path_cache()
         self.database.log(self._clock_ms, f"link {u}-{v} restored")
 
     def handle_node_failure(self, name: str) -> Dict[str, bool]:
@@ -335,6 +352,7 @@ class Orchestrator:
         }
         affected |= hosted
         self.network.fail_node(name)
+        self._prune_path_cache()
         self.database.log(
             self._clock_ms,
             f"node {name} failed; {len(affected)} tasks affected",
@@ -375,6 +393,7 @@ class Orchestrator:
     def handle_node_restore(self, name: str) -> None:
         """Bring a downed device back into service."""
         self.network.restore_node(name)
+        self._prune_path_cache()
         self.database.log(self._clock_ms, f"node {name} restored")
 
     # ------------------------------------------------------------------

@@ -7,6 +7,13 @@ affected running tasks are released, re-scheduled onto the degraded
 fabric, or blocked, exactly as the controller would react on the
 testbed.  Every transition and task outcome is reported to the
 :class:`~repro.resilience.accounting.AvailabilityAccountant`.
+
+Routing through the handlers also keeps the epoch-keyed
+:class:`~repro.network.routing.PathCache` honest: each handler bumps the
+affected links' generations (via ``fail_link``/``restore_link``/
+``fail_node``/``restore_node``) and prunes cache entries that read them,
+so the re-schedule storm right after a fault never consumes a
+shortest-path tree computed on the pre-fault fabric.
 """
 
 from __future__ import annotations

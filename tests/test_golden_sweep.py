@@ -1,0 +1,63 @@
+"""Golden-file regression: pinned sweep rows must never drift.
+
+Two small sweeps — a protocol-served toy sweep and a fault-injected
+campaign — have their JSONL row streams committed under
+``tests/golden/``.  Any change to scheduling, routing (cached *or*
+uncached), fault injection, or row assembly that alters a single byte of
+output fails here, so performance work cannot silently change results.
+
+If a change is *intentional*, regenerate with::
+
+    PYTHONPATH=src python -c "
+    from repro.scenarios import SweepConfig, run_sweep
+    from tests.test_golden_sweep import GOLDEN_SWEEPS
+    for name, config in GOLDEN_SWEEPS.items():
+        run_sweep(config, jsonl_path=f'tests/golden/{name}.jsonl')"
+
+and justify the diff in review.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import SweepConfig, run_sweep
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+GOLDEN_SWEEPS = {
+    "toy_triangle_protocol": SweepConfig(
+        scenarios=("toy-triangle",),
+        grid={"demand_gbps": [5.0, 10.0]},
+        seeds=(0, 1),
+    ),
+    "metro_mesh_flaky_links_campaign": SweepConfig(
+        scenarios=("metro-mesh-flaky-links",),
+        grid={"n_tasks": [6], "n_sites": [8]},
+        seeds=(0,),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SWEEPS))
+def test_sweep_rows_match_golden_file(name, tmp_path):
+    golden = GOLDEN_DIR / f"{name}.jsonl"
+    produced = tmp_path / f"{name}.jsonl"
+    run_sweep(GOLDEN_SWEEPS[name], jsonl_path=str(produced))
+    assert produced.read_bytes() == golden.read_bytes(), (
+        f"sweep {name!r} no longer reproduces its golden rows; if the "
+        "change is intentional, regenerate tests/golden/ (see module "
+        "docstring) and explain the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SWEEPS))
+def test_golden_matches_with_cache_disabled(name, tmp_path, monkeypatch):
+    """The cached default and REPRO_PATH_CACHE=0 pin the same bytes."""
+    monkeypatch.setenv("REPRO_PATH_CACHE", "0")
+    golden = GOLDEN_DIR / f"{name}.jsonl"
+    produced = tmp_path / f"{name}.jsonl"
+    run_sweep(GOLDEN_SWEEPS[name], jsonl_path=str(produced))
+    assert produced.read_bytes() == golden.read_bytes()

@@ -1,7 +1,10 @@
-"""Tests for network-state snapshots."""
+"""Tests for network-state snapshots, node fault idempotence, and the
+mutation-generation bookkeeping the routing cache keys on."""
 
 import pytest
 
+from repro.errors import ConfigurationError
+from repro.network.graph import Network
 from repro.network.state import NetworkState
 
 
@@ -48,3 +51,120 @@ class TestAggregates:
         state = NetworkState.capture(square_net)
         hot = state.hot_links(threshold=0.8)
         assert [(r.src, r.dst) for r in hot] == [("A", "B")]
+
+
+class TestNodeFaultIdempotence:
+    def test_fail_node_twice_counts_each_endpoint_once(self, square_net):
+        square_net.fail_node("A")
+        square_net.fail_node("A")  # no-op: endpoint counts must not double
+        assert square_net.link("A", "B").failed
+        square_net.restore_node("A")
+        assert not square_net.link("A", "B").failed
+        assert not square_net.node("A").failed
+
+    def test_restore_node_twice_is_noop(self, square_net):
+        square_net.fail_node("A")
+        square_net.restore_node("A")
+        square_net.restore_node("A")  # must not raise or underflow counts
+        assert not square_net.node("A").failed
+        # A subsequent clean fail/restore cycle still balances.
+        square_net.fail_node("A")
+        square_net.restore_node("A")
+        assert not square_net.link("A", "B").failed
+
+    def test_restore_never_underflows_endpoint_count(self, square_net):
+        square_net.fail_node("A")
+        square_net.restore_node("A")
+        square_net.restore_node("A")
+        # Direct endpoint repair beyond zero is rejected at the link level.
+        with pytest.raises(ConfigurationError):
+            square_net.link("A", "B").mark_endpoint_up()
+
+    def test_node_and_link_faults_compose(self, square_net):
+        square_net.fail_node("A")
+        square_net.fail_link("A", "B")  # span failure during the outage
+        square_net.restore_node("A")
+        assert square_net.link("A", "B").failed  # span failure survives
+        square_net.restore_link("A", "B")
+        assert not square_net.link("A", "B").failed
+
+    def test_link_between_two_down_nodes_needs_both_up(self, square_net):
+        square_net.fail_node("A")
+        square_net.fail_node("B")
+        square_net.restore_node("A")
+        assert square_net.link("A", "B").failed
+        square_net.restore_node("B")
+        assert not square_net.link("A", "B").failed
+
+
+class TestGenerationBumping:
+    def test_fail_node_bumps_incident_links_only(self, square_net):
+        incident = square_net.link("A", "B")
+        distant = square_net.link("B", "C")
+        gen_incident, gen_distant = incident.generation, distant.generation
+        square_net.fail_node("A")
+        assert incident.generation == gen_incident + 1
+        assert distant.generation == gen_distant
+
+    def test_idempotent_node_fail_does_not_bump(self, square_net):
+        square_net.fail_node("A")
+        epoch = square_net.epoch
+        square_net.fail_node("A")
+        assert square_net.epoch == epoch
+        square_net.restore_node("A")
+        assert square_net.epoch > epoch
+        epoch = square_net.epoch
+        square_net.restore_node("A")
+        assert square_net.epoch == epoch
+
+    def test_idempotent_link_fail_does_not_bump(self, square_net):
+        square_net.fail_link("A", "B")
+        epoch = square_net.epoch
+        square_net.fail_link("A", "B")
+        assert square_net.epoch == epoch
+
+    def test_reserve_and_release_bump_epoch(self, square_net):
+        epoch = square_net.epoch
+        square_net.reserve_edge("A", "B", 5.0, "t")
+        assert square_net.epoch == epoch + 1
+        square_net.release_owner("t")
+        assert square_net.epoch == epoch + 2
+
+    def test_capacity_change_bumps_generation(self, square_net):
+        link = square_net.link("A", "B")
+        generation = link.generation
+        link.capacity_gbps = 40.0  # partial degradation
+        assert link.capacity_gbps == 40.0
+        assert link.generation == generation + 1
+        link.capacity_gbps = 40.0  # no-op write
+        assert link.generation == generation + 1
+        with pytest.raises(ConfigurationError):
+            link.capacity_gbps = 0.0
+
+    def test_link_generation_accessor(self, square_net):
+        before = square_net.link_generation("A", "B")
+        square_net.reserve_edge("A", "B", 5.0, "t")
+        assert square_net.link_generation("A", "B") == before + 1
+
+    def test_standalone_link_has_private_epoch(self):
+        from repro.network.link import Link
+
+        link = Link("a", "b", 100.0)
+        generation = link.generation
+        link.reserve("a", "b", 5.0, "t")
+        assert link.generation == generation + 1
+
+    def test_topology_growth_bumps_epoch(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        epoch = net.epoch
+        net.add_link("a", "b", 100.0)
+        assert net.epoch == epoch + 1
+
+    def test_has_reservations(self, square_net):
+        assert not square_net.has_reservations("t")
+        square_net.reserve_edge("A", "B", 5.0, "t")
+        assert square_net.has_reservations("t")
+        square_net.release_owner("t")
+        assert not square_net.has_reservations("t")

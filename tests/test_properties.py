@@ -20,6 +20,8 @@ import itertools
 import math
 
 import pytest
+
+pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st
 
 from repro.core.fixed import FixedScheduler

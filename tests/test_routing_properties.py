@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for the routing kernel.
+
+The invariants the scheduler hot path leans on, checked over random
+connected topologies with random interleaved mutations:
+
+* ``terminal_tree`` spans root and every terminal, and its weight never
+  exceeds the sum of pairwise terminal shortest paths (the metric-MST
+  bound its 2-approximation guarantee rests on);
+* ``k_shortest_paths`` returns simple (loop-free) paths in
+  non-decreasing weight order, the first being the shortest path;
+* routing is deterministic: repeated calls return identical results;
+* the epoch-keyed cache is transparent: any interleaving of reserve /
+  release / fail / restore mutations leaves cached results byte-equal
+  to a fresh uncached computation;
+* ``sssp`` agrees with point-to-point Dijkstra on every destination,
+  and ``multi_source_distances`` equals the min over per-source trees.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.network.auxiliary import AuxiliaryGraphBuilder
+from repro.network.graph import Network
+from repro.network.node import NodeKind
+from repro.network.paths import (
+    dijkstra,
+    k_shortest_paths,
+    latency_weight,
+    terminal_tree,
+)
+from repro.network.routing import (
+    LatencyWeightSpec,
+    PathCache,
+    multi_source_distances,
+    sssp,
+)
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=4, max_nodes=8):
+    """A small connected Network with random extra edges and distances."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    net = Network("random")
+    for i in range(n):
+        net.add_node(f"n{i}", NodeKind.ROUTER)
+    order = draw(st.permutations(list(range(n))))
+    distances = st.floats(1.0, 100.0, allow_nan=False)
+    for a, b in zip(order, order[1:]):
+        net.add_link(f"n{a}", f"n{b}", 100.0, distance_km=draw(distances))
+    candidates = [
+        (a, b)
+        for a in range(n)
+        for b in range(a + 1, n)
+        if not net.has_link(f"n{a}", f"n{b}")
+    ]
+    extra = (
+        draw(st.lists(st.sampled_from(candidates), unique=True, max_size=8))
+        if candidates
+        else []
+    )
+    for a, b in extra:
+        net.add_link(f"n{a}", f"n{b}", 100.0, distance_km=draw(distances))
+    return net
+
+
+@st.composite
+def graphs_with_terminals(draw):
+    net = draw(connected_graphs())
+    names = net.node_names()
+    root = draw(st.sampled_from(names))
+    terminals = draw(
+        st.lists(st.sampled_from(names), min_size=1, max_size=5, unique=True)
+    )
+    return net, root, terminals
+
+
+class TestTerminalTreeInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs_with_terminals())
+    def test_spans_all_terminals(self, case):
+        net, root, terminals = case
+        tree = terminal_tree(net, root, terminals)
+        for terminal in [root, *terminals]:
+            path = tree.path_to_root(terminal)
+            assert path[-1] == root
+            for a, b in zip(path, path[1:]):
+                assert net.has_link(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs_with_terminals())
+    def test_weight_bounded_by_pairwise_shortest_paths(self, case):
+        """Tree weight <= sum over terminal pairs of shortest-path weight.
+
+        The tree is an MST of the metric closure expanded with hop
+        merging, so its weight is at most the closure MST's, which is at
+        most the sum of all closure edges (each a pairwise shortest
+        path).  Latency weights are symmetric, making the comparison
+        well-defined.
+        """
+        net, root, terminals = case
+        tree = terminal_tree(net, root, terminals)
+        nodes = list(dict.fromkeys([root, *terminals]))
+        pairwise = sum(
+            dijkstra(net, a, b).weight
+            for i, a in enumerate(nodes)
+            for b in nodes[i + 1 :]
+        )
+        assert tree.weight <= pairwise + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_terminals())
+    def test_deterministic_across_repeated_calls(self, case):
+        net, root, terminals = case
+        first = terminal_tree(net, root, terminals)
+        second = terminal_tree(net, root, terminals)
+        assert first.parent == second.parent
+        assert first.weight == second.weight
+
+
+class TestKShortestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs(), st.integers(1, 4))
+    def test_loop_free_and_non_decreasing(self, net, k):
+        names = net.node_names()
+        source, destination = names[0], names[-1]
+        paths = k_shortest_paths(net, source, destination, k)
+        assert 1 <= len(paths) <= k
+        assert paths[0].weight == pytest.approx(
+            dijkstra(net, source, destination).weight
+        )
+        seen = set()
+        for path in paths:
+            assert path.nodes[0] == source and path.nodes[-1] == destination
+            assert len(set(path.nodes)) == len(path.nodes)  # simple
+            assert path.nodes not in seen  # distinct
+            seen.add(path.nodes)
+        for earlier, later in zip(paths, paths[1:]):
+            assert later.weight >= earlier.weight - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs(), st.integers(1, 3))
+    def test_deterministic_across_repeated_calls(self, net, k):
+        names = net.node_names()
+        first = k_shortest_paths(net, names[0], names[-1], k)
+        second = k_shortest_paths(net, names[0], names[-1], k)
+        assert first == second
+
+
+class TestSsspAgreement:
+    @settings(max_examples=50, deadline=None)
+    @given(connected_graphs())
+    def test_sssp_matches_dijkstra_everywhere(self, net):
+        weight = latency_weight(net)
+        names = net.node_names()
+        source = names[0]
+        tree = sssp(net, source, weight)
+        for destination in names:
+            assert tree.path_to(destination) == dijkstra(
+                net, source, destination, weight
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(connected_graphs(), st.data())
+    def test_multi_source_is_min_over_sources(self, net, data):
+        names = net.node_names()
+        sources = data.draw(
+            st.lists(st.sampled_from(names), min_size=1, max_size=3, unique=True)
+        )
+        weight = latency_weight(net)
+        distance, nearest = multi_source_distances(net, sources, weight)
+        trees = {s: sssp(net, s, weight) for s in sources}
+        for name in names:
+            best = min(
+                trees[s].distance.get(name, math.inf) for s in sources
+            )
+            assert distance[name] == pytest.approx(best)
+            assert nearest[name] in sources
+
+
+#: One network mutation of the cache-transparency state machine.
+_mutations = st.sampled_from(["reserve", "release", "fail", "restore"])
+
+
+class TestCacheTransparency:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs_with_terminals(), st.lists(st.tuples(_mutations, st.randoms(use_true_random=False)), max_size=6))
+    def test_cached_equals_fresh_under_mutations(self, case, script):
+        """Interleave mutations with queries: cache output == fresh output."""
+        net, root, terminals = case
+        cache = PathCache(net)
+        links = list(net.links())
+        owners = ["w1", "w2"]
+        for action, rng in script:
+            link = rng.choice(links)
+            owner = rng.choice(owners)
+            if action == "reserve":
+                free = link.residual_gbps(link.u, link.v)
+                if not link.failed and free > 1.0:
+                    link.reserve(link.u, link.v, free / 2.0, owner)
+            elif action == "release":
+                link.release_owner(owner)
+            elif action == "fail":
+                net.fail_link(link.u, link.v)
+            else:
+                net.restore_link(link.u, link.v)
+
+            builder = AuxiliaryGraphBuilder(net, demand_gbps=2.0, owner="q")
+            spec = LatencyWeightSpec(net)
+            try:
+                cached_tree = cache.terminal_tree(root, terminals, builder)
+            except Exception as exc:  # NoPathError under failures
+                with pytest.raises(type(exc)):
+                    terminal_tree(net, root, terminals, builder.weight_fn())
+            else:
+                fresh = terminal_tree(net, root, terminals, builder.weight_fn())
+                assert cached_tree.parent == fresh.parent
+                assert cached_tree.weight == fresh.weight
+            try:
+                cached_path = cache.shortest_path(root, terminals[0], spec)
+            except Exception as exc:
+                with pytest.raises(type(exc)):
+                    dijkstra(net, root, terminals[0])
+            else:
+                assert cached_path == dijkstra(net, root, terminals[0])
