@@ -1,4 +1,4 @@
-.PHONY: test bench bench-scheduler smoke sweep-smoke properties all
+.PHONY: test bench bench-scheduler smoke sweep-smoke topo-smoke properties all
 
 # Tier-1: the full test suite (pyproject.toml supplies pythonpath/testpaths).
 test:
@@ -38,5 +38,29 @@ sweep-smoke:
 	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
 		--serving campaign --backend socket --local-workers 2 --timeout 120
 	rm -f .sweep-smoke.db
+
+# One tiny real sweep per new topology family (Waxman, oversubscribed
+# Clos, both Rocketfuel ISP maps, the multi-region composite) plus the
+# topologies CLI, so a generator regression fails fast in CI.
+topo-smoke:
+	PYTHONPATH=src python -m repro.cli topologies list
+	PYTHONPATH=src python -m repro.cli topologies describe multi-metro-wan
+	PYTHONPATH=src python -m repro.cli topologies build multi-metro-wan \
+		--set n_regions=2 --set sites_per_region=3 --set backbone_routers=4
+	PYTHONPATH=src python -m repro.cli scenarios sweep waxman-wan \
+		--set n_tasks=2 --set n_routers=8
+	PYTHONPATH=src python -m repro.cli scenarios sweep clos-oversub \
+		--set n_tasks=2 --set oversubscription=1,4
+	PYTHONPATH=src python -m repro.cli scenarios sweep isp-telstra \
+		--set n_tasks=2
+	PYTHONPATH=src python -m repro.cli scenarios sweep isp-ebone-pareto \
+		--set n_tasks=2
+	PYTHONPATH=src python -m repro.cli scenarios sweep multi-metro-wan \
+		--set n_tasks=2 --set sites_per_region=3 --set backbone_routers=4 \
+		--sink csv --sink-path .topo-smoke.csv
+	PYTHONPATH=src python -m repro.cli scenarios sweep multi-metro-wan-flaky \
+		--set n_tasks=2 --set sites_per_region=3 --set backbone_routers=4 \
+		--set horizon_ms=20000
+	rm -f .topo-smoke.csv
 
 all: test bench

@@ -1,0 +1,86 @@
+"""Benchmark: build throughput for every registered topology family.
+
+Builds each family repeatedly at a representative size, records
+builds/second (and the instance's node/link counts) per family into
+``BENCH_topologies.json`` at the repo root, and asserts the registry's
+determinism contract along the way — two builds with the same merged
+parameters must be byte-identical.  Topology construction sits on every
+sweep run's critical path (each (scenario, params, seed) run rebuilds
+its fabric), so a generator regression shows up here before it shows up
+as a mysteriously slow sweep.
+
+Smoke mode for CI: ``REPRO_BENCH_SMOKE=1`` drops the repeat count to 2
+(the identity check still runs); ``REPRO_SKIP_TIMING_ASSERTS=1`` is
+accepted for symmetry but this benchmark asserts no wall-clock floors —
+absolute build rates vary too much across machines to gate on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.network.topology import list_families
+
+from benchmarks.conftest import run_once
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_topologies.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROUNDS = 2 if SMOKE else 20
+
+#: Representative (non-toy) build sizes per family; families not named
+#: here build at their schema defaults.
+BENCH_PARAMS = {
+    "metro-mesh": {"n_sites": 24, "servers_per_site": 2},
+    "metro-ring": {"n_sites": 24, "servers_per_site": 2},
+    "spine-leaf": {"n_spines": 8, "n_leaves": 16},
+    "fat-tree": {"k": 8},
+    "scale-free": {"n_routers": 200},
+    "random-geometric": {"n_routers": 150},
+    "waxman": {"n_routers": 100},
+    "clos": {"n_pods": 8, "leaves_per_pod": 4, "spines_per_pod": 4, "n_cores": 8},
+    "multi-metro-wan": {"n_regions": 4, "sites_per_region": 8},
+}
+
+
+def _fingerprint(net) -> str:
+    nodes = tuple((n.name, n.kind.value) for n in net.nodes())
+    links = tuple(
+        (l.u, l.v, l.capacity_gbps, l.distance_km) for l in net.links()
+    )
+    return repr((nodes, links))
+
+
+def _build_all():
+    """Build every family ROUNDS times; return per-family stats."""
+    stats = {}
+    for family in list_families():
+        params = BENCH_PARAMS.get(family.name, {})
+        first = family.build(params)
+        assert _fingerprint(first) == _fingerprint(family.build(params)), (
+            f"family {family.name} is not deterministic"
+        )
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            family.build(params)
+        elapsed = time.perf_counter() - start
+        stats[family.name] = {
+            "nodes": first.node_count,
+            "links": first.link_count,
+            "rounds": ROUNDS,
+            "build_ms": round(1_000.0 * elapsed / ROUNDS, 3),
+            "builds_per_s": round(ROUNDS / elapsed, 1) if elapsed > 0 else None,
+            "smoke": SMOKE,
+        }
+    return stats
+
+
+def test_bench_topology_build_throughput(benchmark):
+    stats = run_once(benchmark, _build_all)
+    assert len(stats) >= 11
+    BENCH_JSON.write_text(
+        json.dumps(stats, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -12,14 +12,25 @@ introspection::
 
     repro scenarios list
     repro scenarios list --tag resilience
+    repro scenarios list --tag family:waxman --tag uniform
     repro scenarios sweep metro-mesh-uniform --set n_locals=3,6,9 \\
         --seeds 0,1 --workers 4 --cache-dir .sweep-cache --save out.json
     repro scenarios sweep metro-mesh-flaky-links --jsonl rows.jsonl
+    repro scenarios sweep clos-oversub --set oversubscription=1,2,4 \\
+        --sink csv --sink-path rows.csv
     repro scenarios sweep metro-mesh-flaky-links --backend socket \\
         --port 7777 --sink sqlite --sink-path sweep.db
     repro scenarios worker --connect localhost:7777
     repro scenarios sweep fat-tree-uniform --dry-run
     repro scenarios faults metro-mesh-flaky-links --seed 3 --events 10
+
+The ``topologies`` subcommand exposes the topology-family registry —
+the generators scenarios build their fabrics from::
+
+    repro topologies list
+    repro topologies describe waxman
+    repro topologies build multi-metro-wan --set n_regions=2 --seed 3
+    repro topologies build clos --set oversubscription=4 --save clos.json
 
 ``scenarios sweep`` expands the cross product of every ``--set``
 dimension and the seed list over the named scenarios and runs it on the
@@ -94,7 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "The scenario registry and parallel sweep engine live under "
             "'repro scenarios': try 'repro scenarios list' and "
-            "'repro scenarios sweep --help'."
+            "'repro scenarios sweep --help'.  The topology-family "
+            "registry lives under 'repro topologies': try "
+            "'repro topologies list' and 'repro topologies describe "
+            "waxman'."
         ),
     )
     parser.add_argument(
@@ -118,7 +132,16 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_cmd = sub.add_parser("list", help="print every registered scenario")
-    list_cmd.add_argument("--tag", help="only scenarios carrying this tag")
+    list_cmd.add_argument(
+        "--tag",
+        dest="tags",
+        action="append",
+        default=[],
+        help=(
+            "only scenarios carrying this tag; repeatable (all must "
+            "match) — topology families are tags too, e.g. family:waxman"
+        ),
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -183,7 +206,7 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--sink",
-        choices=("json", "jsonl", "sqlite"),
+        choices=("csv", "json", "jsonl", "sqlite"),
         help="stream rows to this sink kind (requires --sink-path)",
     )
     sweep.add_argument(
@@ -280,6 +303,62 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_topologies_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro topologies",
+        description=(
+            "inspect the topology-family registry and build instances "
+            "without going through a scenario"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="print every registered family")
+    list_cmd.add_argument("--tag", help="only families carrying this tag")
+
+    describe = sub.add_parser(
+        "describe",
+        help="show one family's parameter schema",
+        description=(
+            "Prints the family's description, tags, and full parameter "
+            "schema — name, default, bounds, and what each knob does."
+        ),
+    )
+    describe.add_argument("family", help="a registered family name")
+
+    build = sub.add_parser(
+        "build",
+        help="build one instance and summarise it",
+        description=(
+            "Builds the family with the given overrides and seed, then "
+            "prints node/link counts by kind, capacity totals, and the "
+            "region breakdown for composites.  --save dumps the exact "
+            "node and link sets as JSON."
+        ),
+    )
+    build.add_argument("family", help="a registered family name")
+    build.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="one parameter override; repeatable",
+    )
+    build.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed override for randomised families (default: schema default)",
+    )
+    build.add_argument(
+        "--save",
+        metavar="PATH",
+        help="write the built node and link sets as JSON to PATH",
+    )
+    return parser
+
+
 def _parse_scalar(text: str):
     """CLI grid values: int if possible, else float, else the string."""
     for cast in (int, float):
@@ -288,6 +367,123 @@ def _parse_scalar(text: str):
         except ValueError:
             continue
     return text
+
+
+def _parse_overrides(items: List[str]):
+    """KEY=VALUE pairs from repeated --set flags (None on a bad item)."""
+    overrides = {}
+    for item in items:
+        if "=" not in item:
+            return None, item
+        key, _, value = item.partition("=")
+        overrides[key] = _parse_scalar(value)
+    return overrides, None
+
+
+def _topologies_main(argv: List[str]) -> int:
+    """The ``repro topologies`` subcommand: list / describe / build."""
+    import json as jsonlib
+
+    from .errors import ConfigurationError
+    from .network.topology import get_family, list_families, regions_of
+
+    args = build_topologies_parser().parse_args(argv)
+    if args.command == "list":
+        families = list_families(tag=args.tag)
+        width = max((len(family.name) for family in families), default=0)
+        for family in families:
+            tags = ",".join(family.tags)
+            print(
+                f"{family.name:<{width}}  {family.description}  "
+                f"[{tags}] ({len(family.schema)} params)"
+            )
+        return 0
+    try:
+        family = get_family(args.family)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.command == "describe":
+        print(f"{family.name}: {family.description}")
+        print(f"tags: {','.join(family.tags) or '(none)'}")
+        print(f"seeded: {'yes' if family.seeded else 'no (fully deterministic)'}")
+        if not family.schema:
+            print("parameters: (none)")
+            return 0
+        print("parameters:")
+        width = max(len(spec.name) for spec in family.schema)
+        for spec in family.schema:
+            bounds = []
+            if spec.minimum is not None:
+                bounds.append(f">= {spec.minimum:g}")
+            if spec.maximum is not None:
+                bounds.append(f"<= {spec.maximum:g}")
+            if spec.choices is not None:
+                bounds.append(f"one of {list(spec.choices)}")
+            suffix = f"  ({'; '.join(bounds)})" if bounds else ""
+            print(
+                f"  {spec.name:<{width}}  default={spec.default!r:<8}  "
+                f"{spec.doc}{suffix}"
+            )
+        return 0
+
+    overrides, bad = _parse_overrides(args.overrides)
+    if overrides is None:
+        print(f"--set expects KEY=VALUE, got {bad!r}", file=sys.stderr)
+        return 2
+    try:
+        net = family.build(overrides, seed=args.seed)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kinds: Dict[str, int] = {}
+    for node in net.nodes():
+        kinds[node.kind.value] = kinds.get(node.kind.value, 0) + 1
+    capacity = sum(link.capacity_gbps for link in net.links())
+    print(f"{net.name}: {net.node_count} nodes, {net.link_count} links")
+    print(
+        "nodes by kind: "
+        + ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+    )
+    print(f"servers: {len(net.servers())}")
+    print(f"total capacity: {capacity:g} Gbps (per direction)")
+    print(f"connected: {'yes' if net.is_connected() else 'NO'}")
+    regions = {label: names for label, names in regions_of(net).items() if label}
+    if regions:
+        print(
+            "regions: "
+            + ", ".join(
+                f"{label}({len(names)} nodes)"
+                for label, names in sorted(regions.items())
+            )
+        )
+    if args.save:
+        payload = {
+            "family": family.name,
+            "name": net.name,
+            "nodes": [
+                {
+                    "name": node.name,
+                    "kind": node.kind.value,
+                    "attrs": node.attrs,
+                }
+                for node in net.nodes()
+            ],
+            "links": [
+                {
+                    "u": link.u,
+                    "v": link.v,
+                    "capacity_gbps": link.capacity_gbps,
+                    "distance_km": link.distance_km,
+                    "latency_ms": link.latency_ms,
+                }
+                for link in net.links()
+            ],
+        }
+        with open(args.save, "w", encoding="utf-8") as handle:
+            jsonlib.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"saved topology to {args.save}", file=sys.stderr)
+    return 0
 
 
 def _faults_main(args) -> int:
@@ -310,13 +506,10 @@ def _faults_main(args) -> int:
             file=sys.stderr,
         )
         return 2
-    overrides = {}
-    for item in args.overrides:
-        if "=" not in item:
-            print(f"--set expects KEY=VALUE, got {item!r}", file=sys.stderr)
-            return 2
-        key, _, value = item.partition("=")
-        overrides[key] = _parse_scalar(value)
+    overrides, bad = _parse_overrides(args.overrides)
+    if overrides is None:
+        print(f"--set expects KEY=VALUE, got {bad!r}", file=sys.stderr)
+        return 2
     try:
         instance = spec.instantiate(overrides, seed=args.seed)
     except ConfigurationError as exc:
@@ -399,7 +592,7 @@ def _scenarios_main(argv: List[str]) -> int:
 
     args = build_scenarios_parser().parse_args(argv)
     if args.command == "list":
-        specs = list_scenarios(tag=args.tag)
+        specs = list_scenarios(tags=args.tags)
         width = max((len(spec.name) for spec in specs), default=0)
         for spec in specs:
             tags = ",".join(spec.tags)
@@ -464,6 +657,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "scenarios":
         return _scenarios_main(argv[1:])
+    if argv and argv[0] == "topologies":
+        return _topologies_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

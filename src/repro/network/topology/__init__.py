@@ -1,0 +1,89 @@
+"""Topology generation as a first-class subsystem.
+
+This package promotes topology construction from a flat function module
+to a registry of named :class:`TopologyFamily` entries — each with a
+parameter schema (defaults, bounds, docs), free-form tags, and a
+deterministic seeded build — mirroring the scenario registry one layer
+up.  Importing the package registers the built-in catalogue: the nine
+original builders plus Waxman random WANs, oversubscribed Clos fabrics,
+embedded Rocketfuel-style ISP maps, and the ``compose()`` multi-region
+combinator that stitches any registered families over a backbone into
+one network with per-node region metadata.
+
+Quick tour::
+
+    from repro.network.topology import (
+        build_topology, get_family, list_families,
+    )
+
+    for family in list_families():
+        print(family.name, "-", family.description)
+
+    net = build_topology("waxman", {"n_routers": 32, "beta": 0.4}, seed=3)
+    fam = get_family("clos")
+    net = fam.build({"oversubscription": 4.0})
+
+Determinism contract: ``build`` with equal merged parameters yields
+byte-identical node and link sets in any process — randomised families
+draw everything from their ``seed`` parameter.  The scenario sweep
+engine leans on this for cross-backend byte-identity.
+"""
+
+from .builders import (
+    DEFAULT_CAPACITY_GBPS,
+    dumbbell,
+    fat_tree,
+    metro_mesh,
+    metro_ring,
+    nsfnet,
+    random_geometric,
+    scale_free,
+    spine_leaf,
+    toy_triangle,
+)
+from .catalogue import register_builtin_families
+from .clos import clos
+from .compose import REGION_SEP, RegionSpec, compose, regions_of
+from .family import (
+    ParamSpec,
+    TopologyFamily,
+    build_topology,
+    get_family,
+    list_families,
+    register_family,
+    unregister_family,
+)
+from .isp import ISP_DATASETS, load_isp_map, rocketfuel_isp
+from .waxman import waxman
+
+register_builtin_families()
+
+__all__ = [
+    "DEFAULT_CAPACITY_GBPS",
+    "ISP_DATASETS",
+    "ParamSpec",
+    "REGION_SEP",
+    "RegionSpec",
+    "TopologyFamily",
+    "build_topology",
+    "clos",
+    "compose",
+    "dumbbell",
+    "fat_tree",
+    "get_family",
+    "list_families",
+    "load_isp_map",
+    "metro_mesh",
+    "metro_ring",
+    "nsfnet",
+    "random_geometric",
+    "register_builtin_families",
+    "register_family",
+    "regions_of",
+    "rocketfuel_isp",
+    "scale_free",
+    "spine_leaf",
+    "toy_triangle",
+    "unregister_family",
+    "waxman",
+]

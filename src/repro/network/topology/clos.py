@@ -1,0 +1,97 @@
+"""Three-tier Clos fabrics with configurable oversubscription.
+
+A folded Clos generalises the spine-leaf and fat-tree builders with the
+one knob real datacenters actually tune: the *oversubscription ratio* —
+how much server-facing bandwidth a switch accepts per unit of uplink
+bandwidth it offers northbound.  1:1 keeps the fabric non-blocking; 3:1
+or 4:1 are common cost compromises whose congestion behaviour is exactly
+what scheduler sweeps want to grid over.
+
+Structure: ``n_pods`` pods of ``leaves_per_pod`` leaf switches and
+``spines_per_pod`` pod-local spines (full bipartite inside the pod),
+``n_cores`` optical core switches each connected to every pod spine.
+``servers_per_leaf`` servers attach at ``server_gbps`` each; uplink
+capacities at both tiers are derived from the tier's southbound
+bandwidth divided by the oversubscription ratio, split across its
+uplinks.  The build is fully deterministic — no randomness at all.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from ..graph import Network
+from ..node import NodeKind
+
+
+def clos(
+    n_pods: int = 2,
+    *,
+    leaves_per_pod: int = 2,
+    spines_per_pod: int = 2,
+    n_cores: int = 2,
+    servers_per_leaf: int = 2,
+    oversubscription: float = 1.0,
+    server_gbps: float = 25.0,
+    edge_km: float = 0.05,
+) -> Network:
+    """A folded 3-tier Clos with one oversubscription ratio at both tiers.
+
+    Args:
+        n_pods: pod count (>= 1).
+        leaves_per_pod: leaf (ToR) switches per pod.
+        spines_per_pod: pod-local spine switches per pod.
+        n_cores: core switches joining the pods.
+        servers_per_leaf: servers attached to each leaf.
+        oversubscription: southbound/northbound bandwidth ratio per
+            switch tier (>= 1.0; 1.0 = non-blocking).
+        server_gbps: per-direction capacity of each server attachment.
+        edge_km: fibre length of intra-fabric hops.
+    """
+    if n_pods < 1 or leaves_per_pod < 1 or spines_per_pod < 1 or n_cores < 1:
+        raise ConfigurationError(
+            "clos needs >= 1 pod, leaf, spine, and core switch; got "
+            f"pods={n_pods}, leaves={leaves_per_pod}, "
+            f"spines={spines_per_pod}, cores={n_cores}"
+        )
+    if servers_per_leaf < 1:
+        raise ConfigurationError(
+            f"servers_per_leaf must be >= 1, got {servers_per_leaf}"
+        )
+    if oversubscription < 1.0:
+        raise ConfigurationError(
+            f"oversubscription must be >= 1.0, got {oversubscription}"
+        )
+    if server_gbps <= 0:
+        raise ConfigurationError(f"server_gbps must be > 0, got {server_gbps}")
+
+    # Leaf tier: southbound = servers, northbound = pod spines.
+    leaf_south_gbps = servers_per_leaf * server_gbps
+    leaf_uplink_gbps = leaf_south_gbps / oversubscription / spines_per_pod
+    # Spine tier: southbound = pod leaves, northbound = cores.
+    spine_south_gbps = leaves_per_pod * leaf_uplink_gbps
+    spine_uplink_gbps = spine_south_gbps / oversubscription / n_cores
+
+    ratio = f"{oversubscription:g}to1"
+    net = Network(f"clos-{n_pods}p-{ratio}")
+    for c in range(n_cores):
+        net.add_node(f"CORE-{c}", NodeKind.SPINE, aggregation_capable=False)
+    for p in range(n_pods):
+        for s in range(spines_per_pod):
+            spine = f"SP-{p}-{s}"
+            net.add_node(spine, NodeKind.LEAF)
+            for c in range(n_cores):
+                net.add_link(
+                    spine, f"CORE-{c}", spine_uplink_gbps, distance_km=edge_km
+                )
+        for l in range(leaves_per_pod):
+            leaf = f"LF-{p}-{l}"
+            net.add_node(leaf, NodeKind.LEAF)
+            for s in range(spines_per_pod):
+                net.add_link(
+                    leaf, f"SP-{p}-{s}", leaf_uplink_gbps, distance_km=edge_km
+                )
+            for j in range(servers_per_leaf):
+                name = f"SRV-{p}-{l}-{j}"
+                net.add_node(name, NodeKind.SERVER)
+                net.add_link(name, leaf, server_gbps, distance_km=0.01)
+    return net

@@ -1,0 +1,180 @@
+"""Multi-region composition: stitch registered families into one fabric.
+
+``compose()`` is the combinator the inter-datacenter literature needs:
+it builds any number of *regions* — each an instance of any registered
+topology family — plus a *backbone* (another family instance), merges
+them into a single :class:`~repro.network.graph.Network` under
+``region/node`` names, and joins each region to the backbone through a
+configurable number of gateway links.  Every node carries its region in
+``attrs["region"]``, so schedulers, fault profiles, and metrics can
+group by region without any new graph machinery (``copy_topology``
+preserves attrs, so scratch copies keep the metadata too).
+
+Determinism: regions build in the order given, gateway selection walks
+node insertion order, and backbone attachment points are assigned
+round-robin — no randomness beyond what the member families draw from
+their own ``seed`` parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ...errors import ConfigurationError
+from ..graph import Network
+from ..node import NodeKind
+
+#: Separator between a region label and the member network's node name.
+REGION_SEP = "/"
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One region of a composite: a family instance under a label.
+
+    Attributes:
+        name: region label; becomes the node-name prefix and the
+            ``attrs["region"]`` value of every member node.
+        family: a registered topology family name.
+        params: overrides passed to the family's ``build``.
+    """
+
+    name: str
+    family: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or REGION_SEP in self.name or " " in self.name:
+            raise ConfigurationError(
+                f"region name must be non-empty without {REGION_SEP!r} or "
+                f"spaces, got {self.name!r}"
+            )
+
+
+def _switch_names(net: Network) -> List[str]:
+    """Non-server nodes in insertion order — gateway/attachment candidates.
+
+    Prefers routers (the devices that actually peer across regions);
+    falls back to any switching node for families without ROUTER kinds
+    (e.g. pure spine-leaf fabrics).
+    """
+    routers = net.node_names(NodeKind.ROUTER)
+    if routers:
+        return routers
+    return [
+        node.name
+        for node in net.nodes()
+        if node.kind is not NodeKind.SERVER
+    ]
+
+
+def _merge_into(
+    target: Network, source: Network, region: str
+) -> None:
+    """Copy ``source``'s nodes and links into ``target`` under ``region``."""
+    for node in source.nodes():
+        attrs = dict(node.attrs)
+        attrs["region"] = region
+        target.add_node(
+            f"{region}{REGION_SEP}{node.name}",
+            node.kind,
+            aggregation_capable=node.aggregation_capable,
+            **attrs,
+        )
+    for link in source.links():
+        target.add_link(
+            f"{region}{REGION_SEP}{link.u}",
+            f"{region}{REGION_SEP}{link.v}",
+            link.capacity_gbps,
+            distance_km=link.distance_km,
+            latency_ms=link.latency_ms,
+        )
+
+
+def compose(
+    regions: Sequence[RegionSpec],
+    *,
+    backbone: RegionSpec,
+    gateways_per_region: int = 2,
+    gateway_gbps: float = 200.0,
+    gateway_km: float = 80.0,
+    name: Optional[str] = None,
+) -> Network:
+    """Stitch region fabrics over a backbone into one network.
+
+    Each region contributes ``gateways_per_region`` gateway links: the
+    region's first switching nodes (insertion order) connect to backbone
+    switching nodes assigned round-robin, so regions spread across the
+    backbone instead of piling onto its first router.
+
+    Raises:
+        ConfigurationError: on empty/duplicate regions, a backbone label
+            colliding with a region, or unsatisfiable gateway counts.
+    """
+    if not regions:
+        raise ConfigurationError("compose() needs at least one region")
+    if gateways_per_region < 1:
+        raise ConfigurationError(
+            f"gateways_per_region must be >= 1, got {gateways_per_region}"
+        )
+    labels = [spec.name for spec in regions]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(f"duplicate region names in {labels}")
+    if backbone.name in labels:
+        raise ConfigurationError(
+            f"backbone label {backbone.name!r} collides with a region"
+        )
+
+    # Imported here: the registry module has no dependency on compose,
+    # but catalogue registration imports this module at package import.
+    from .family import get_family
+
+    net = Network(name or f"composite-{len(regions)}x{backbone.family}")
+    backbone_net = get_family(backbone.family).build(backbone.params)
+    _merge_into(net, backbone_net, backbone.name)
+    attach_points = [
+        f"{backbone.name}{REGION_SEP}{switch}"
+        for switch in _switch_names(backbone_net)
+    ]
+    if not attach_points:
+        raise ConfigurationError(
+            f"backbone family {backbone.family!r} has no switching nodes "
+            "to attach gateways to"
+        )
+
+    next_attach = 0
+    for spec in regions:
+        region_net = get_family(spec.family).build(spec.params)
+        _merge_into(net, region_net, spec.name)
+        gateways = _switch_names(region_net)
+        if len(gateways) < gateways_per_region:
+            raise ConfigurationError(
+                f"region {spec.name!r} ({spec.family}) has only "
+                f"{len(gateways)} switching nodes; cannot place "
+                f"{gateways_per_region} gateways"
+            )
+        for gateway in gateways[:gateways_per_region]:
+            attach = attach_points[next_attach % len(attach_points)]
+            next_attach += 1
+            net.add_link(
+                f"{spec.name}{REGION_SEP}{gateway}",
+                attach,
+                gateway_gbps,
+                distance_km=gateway_km,
+            )
+    return net
+
+
+def regions_of(net: Network) -> Dict[str, List[str]]:
+    """Region label -> member node names, in insertion order.
+
+    Nodes without region metadata (networks not built by ``compose``)
+    land under ``""``.
+    """
+    grouped: Dict[str, List[str]] = {}
+    for node in net.nodes():
+        grouped.setdefault(str(node.attrs.get("region", "")), []).append(
+            node.name
+        )
+    return grouped

@@ -1,0 +1,162 @@
+"""Embedded Rocketfuel-style real ISP topologies.
+
+Rocketfuel (Spring et al., *Measuring ISP Topologies with Rocketfuel*,
+SIGCOMM '02) mapped real ISP backbones at PoP granularity.  This module
+ships small Rocketfuel-style maps as JSON data files — PoP city
+coordinates plus the backbone adjacency — and materialises them as
+:class:`~repro.network.graph.Network` instances with
+
+* span distances computed from the great-circle (haversine) separation
+  of the PoP coordinates, and
+* link capacities *inferred* from the map the way Rocketfuel-derived
+  studies do: degree is a proxy for PoP importance, so spans between
+  two core PoPs (degree in the top quartile) get 4x the base capacity,
+  spans touching one core PoP 2x, and pure edge spans 1x.
+
+Everything is derived from the data file with no randomness, so builds
+are byte-identical everywhere by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List
+
+from ...errors import ConfigurationError
+from ..graph import Network
+from ..node import NodeKind
+from .builders import DEFAULT_CAPACITY_GBPS
+
+#: Dataset name -> JSON file under ``data/``.
+ISP_DATASETS: Dict[str, str] = {
+    "as1221-telstra": "as1221_telstra.json",
+    "as1755-ebone": "as1755_ebone.json",
+}
+
+_DATA_DIR = Path(__file__).resolve().parent / "data"
+
+_EARTH_RADIUS_KM = 6371.0
+
+
+def _haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points in km."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * _EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def load_isp_map(dataset: str) -> Dict[str, Any]:
+    """Parse and validate one embedded ISP map.
+
+    Raises:
+        ConfigurationError: for unknown datasets or malformed maps
+            (duplicate PoPs, dangling links, disconnected backbones).
+    """
+    try:
+        path = _DATA_DIR / ISP_DATASETS[dataset]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown ISP dataset {dataset!r}; shipped: "
+            f"{sorted(ISP_DATASETS)}"
+        ) from None
+    data = json.loads(path.read_text(encoding="utf-8"))
+    seen = set()
+    for node in data["nodes"]:
+        if node["id"] in seen:
+            raise ConfigurationError(
+                f"ISP map {dataset!r}: duplicate PoP {node['id']!r}"
+            )
+        seen.add(node["id"])
+    adjacency: Dict[str, List[str]] = {pop: [] for pop in seen}
+    for u, v in data["links"]:
+        if u not in seen or v not in seen:
+            raise ConfigurationError(
+                f"ISP map {dataset!r}: link {u}-{v} references an unknown PoP"
+            )
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    # The backbone must be one component — a disconnected map would only
+    # surface later as unreachable-path errors deep inside a sweep.
+    if data["nodes"]:
+        start = data["nodes"][0]["id"]
+        reached = {start}
+        frontier = [start]
+        while frontier:
+            for neighbor in adjacency[frontier.pop()]:
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    frontier.append(neighbor)
+        if len(reached) != len(seen):
+            stranded = sorted(seen - reached)
+            raise ConfigurationError(
+                f"ISP map {dataset!r}: backbone is disconnected; "
+                f"unreachable PoPs: {stranded}"
+            )
+    return data
+
+
+def rocketfuel_isp(
+    dataset: str = "as1221-telstra",
+    *,
+    capacity_gbps: float = DEFAULT_CAPACITY_GBPS,
+    servers_per_site: int = 1,
+) -> Network:
+    """Materialise one embedded Rocketfuel-style ISP backbone.
+
+    Args:
+        dataset: one of :data:`ISP_DATASETS`.
+        capacity_gbps: base (edge-tier) span capacity; core spans get
+            the degree-inferred 2x/4x multiplier.
+        servers_per_site: servers attached behind every PoP router.
+    """
+    if servers_per_site < 1:
+        raise ConfigurationError(
+            f"servers_per_site must be >= 1, got {servers_per_site}"
+        )
+    data = load_isp_map(dataset)
+    coords = {node["id"]: (node["lat"], node["lon"]) for node in data["nodes"]}
+    degree: Dict[str, int] = {pop: 0 for pop in coords}
+    for u, v in data["links"]:
+        degree[u] += 1
+        degree[v] += 1
+    # Core PoPs: top quartile by degree (at least one).  The threshold is
+    # taken from the sorted degree list, so it is a pure function of the
+    # map — no percentile-interpolation subtleties.
+    ranked = sorted(degree.values())
+    threshold = ranked[max(0, len(ranked) - max(1, len(ranked) // 4))]
+    core = {pop for pop, deg in degree.items() if deg >= threshold}
+
+    net = Network(f"isp-{data['name']}-as{data['asn']}")
+    for node in data["nodes"]:
+        pop = node["id"]
+        net.add_node(
+            f"RT-{pop}",
+            NodeKind.ROUTER,
+            city=pop,
+            lat=node["lat"],
+            lon=node["lon"],
+            core=pop in core,
+        )
+        for j in range(servers_per_site):
+            name = f"SRV-{pop}-{j}"
+            net.add_node(name, NodeKind.SERVER)
+            net.add_link(name, f"RT-{pop}", capacity_gbps, distance_km=0.05)
+    for u, v in data["links"]:
+        tier = (u in core) + (v in core)
+        multiplier = (1.0, 2.0, 4.0)[tier]
+        (lat1, lon1), (lat2, lon2) = coords[u], coords[v]
+        km = max(1.0, round(_haversine_km(lat1, lon1, lat2, lon2), 1))
+        net.add_link(
+            f"RT-{u}",
+            f"RT-{v}",
+            capacity_gbps * multiplier,
+            distance_km=km,
+        )
+    return net

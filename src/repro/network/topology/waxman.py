@@ -1,0 +1,103 @@
+"""Waxman random WANs.
+
+The Waxman model (Waxman, *Routing of Multipoint Connections*, JSAC '88)
+is the classic synthetic wide-area topology: routers scatter uniformly
+over a plane and each pair links with probability
+
+    P(u, v) = alpha * exp(-d(u, v) / (beta * L))
+
+where ``d`` is the Euclidean separation and ``L`` the maximum possible
+separation.  ``alpha`` scales overall link density; ``beta`` controls
+how sharply probability decays with distance — small ``beta`` yields
+short local spans, large ``beta`` sprinkles long-haul shortcuts.  Both
+are the natural sweep axes for WAN studies (inter-datacenter congestion
+work is defined over exactly such composites).
+
+Every draw comes from one ``random.Random(seed)``, iterated in a fixed
+node order, so the same parameters rebuild a byte-identical network in
+any process; a deterministic chain pass guarantees connectivity without
+resampling (which would make connectivity repair order-sensitive).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from ...errors import ConfigurationError
+from ..graph import Network
+from ..node import NodeKind
+from .builders import DEFAULT_CAPACITY_GBPS
+
+
+def waxman(
+    n_routers: int = 24,
+    *,
+    alpha: float = 0.4,
+    beta: float = 0.25,
+    seed: int = 0,
+    capacity_gbps: float = DEFAULT_CAPACITY_GBPS,
+    area_km: float = 2_000.0,
+    servers_per_site: int = 1,
+) -> Network:
+    """A connected Waxman random WAN with servers behind every router.
+
+    Args:
+        n_routers: PoP count (>= 2).
+        alpha: link-density knob in (0, 1].
+        beta: distance-decay knob in (0, 1].
+        seed: drives node placement and every link coin flip.
+        capacity_gbps: per-direction capacity of every WAN span.
+        area_km: side of the square the unit placement scales to; span
+            distances are Euclidean separations at this scale.
+        servers_per_site: servers attached behind each router.
+    """
+    if n_routers < 2:
+        raise ConfigurationError(f"need >= 2 routers, got {n_routers}")
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0.0 < beta <= 1.0:
+        raise ConfigurationError(f"beta must be in (0, 1], got {beta}")
+    if servers_per_site < 1:
+        raise ConfigurationError(
+            f"servers_per_site must be >= 1, got {servers_per_site}"
+        )
+    rng = random.Random(seed)
+    net = Network(f"waxman-{n_routers}")
+    points: List[Tuple[float, float]] = []
+    for i in range(n_routers):
+        x, y = rng.random(), rng.random()
+        points.append((x, y))
+        net.add_node(f"RT-{i}", NodeKind.ROUTER, x=x, y=y)
+        for j in range(servers_per_site):
+            name = f"SRV-{i}-{j}"
+            net.add_node(name, NodeKind.SERVER)
+            net.add_link(name, f"RT-{i}", capacity_gbps, distance_km=0.05)
+
+    # L is the diagonal of the unit square — the maximum separation the
+    # placement can produce — so beta's meaning is placement-independent.
+    scale = math.sqrt(2.0)
+
+    def dist_km(a: int, b: int) -> float:
+        (x1, y1), (x2, y2) = points[a], points[b]
+        return max(1.0, math.hypot(x1 - x2, y1 - y2) * area_km)
+
+    for a in range(n_routers):
+        for b in range(a + 1, n_routers):
+            (x1, y1), (x2, y2) = points[a], points[b]
+            separation = math.hypot(x1 - x2, y1 - y2)
+            probability = alpha * math.exp(-separation / (beta * scale))
+            if rng.random() < probability:
+                net.add_link(
+                    f"RT-{a}", f"RT-{b}", capacity_gbps, distance_km=dist_km(a, b)
+                )
+    # Guarantee connectivity with a sorted-by-position chain (the same
+    # deterministic repair random_geometric uses).
+    order = sorted(range(n_routers), key=lambda i: points[i])
+    for a, b in zip(order, order[1:]):
+        if not net.has_link(f"RT-{a}", f"RT-{b}"):
+            net.add_link(
+                f"RT-{a}", f"RT-{b}", capacity_gbps, distance_km=dist_km(a, b)
+            )
+    return net

@@ -1,0 +1,62 @@
+"""Shared override-coercion policy for parameterized registries.
+
+Both the scenario registry (:mod:`repro.scenarios.spec`) and the
+topology-family registry (:mod:`repro.network.topology.family`) accept
+user overrides against a dict of typed defaults.  The coercion rules —
+numeric defaults accept any number but never bools, integer defaults
+accept integral floats, other defaults require their own type — are one
+policy implemented once here, so the two layers can never drift apart
+on what the same override value means.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import ConfigurationError
+
+
+def coerce_override(value: Any, default: Any, *, where: str) -> Any:
+    """Coerce ``value`` against its ``default``'s type.
+
+    Rules:
+
+    * numeric (non-bool int/float) defaults accept any number; an
+      integer default additionally accepts only integral floats, which
+      are converted to int;
+    * a ``None`` default documents an optional *numeric* knob: ``None``
+      and numbers pass, anything else is rejected (so a bad override
+      fails here with a clean error instead of deep in a builder);
+    * any other default requires an instance of its own type.
+
+    Args:
+        value: the user-supplied override.
+        default: the schema default it replaces.
+        where: message prefix, e.g. ``"scenario 'x': parameter 'y'"``.
+
+    Raises:
+        ConfigurationError: on any mismatch.
+    """
+    if default is None:
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, (int, float))
+        ):
+            raise ConfigurationError(
+                f"{where} expects a number or None, got {value!r}"
+            )
+        return value
+    numeric = isinstance(default, (int, float)) and not isinstance(default, bool)
+    if numeric:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(f"{where} expects a number, got {value!r}")
+        if isinstance(default, int) and isinstance(value, float):
+            if not value.is_integer():
+                raise ConfigurationError(
+                    f"{where} expects an integer, got {value!r}"
+                )
+            value = int(value)
+    elif not isinstance(value, type(default)):
+        raise ConfigurationError(
+            f"{where} expects {type(default).__name__}, got {value!r}"
+        )
+    return value

@@ -32,8 +32,9 @@ from ..resilience.profile import FaultProfile
 from .builtin import register_builtin_scenarios
 from .failures import LinkFailureModel
 from .registry import get_scenario, list_scenarios, register, unregister
-from .spec import ScenarioInstance, ScenarioSpec
+from .spec import FamilyTopology, ScenarioInstance, ScenarioSpec
 from .sweep import (
+    CsvSink,
     JsonSink,
     JsonlSink,
     ProcessPoolBackend,
@@ -57,6 +58,8 @@ from .workloads import WORKLOADS
 register_builtin_scenarios()
 
 __all__ = [
+    "CsvSink",
+    "FamilyTopology",
     "FaultProfile",
     "JsonSink",
     "JsonlSink",

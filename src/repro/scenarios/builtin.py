@@ -1,18 +1,26 @@
 """The built-in scenario catalogue.
 
-Fifteen scenarios spanning every topology family (metro ring/mesh,
-spine-leaf, NSFNET WAN, scale-free, fat-tree) crossed with the three
-workload families (uniform, heavy-tailed Pareto demands, bursty
-arrivals), static link failures, and time-driven fault injection (the
-``resilience``-tagged campaigns).  Importing :mod:`repro.scenarios`
-registers all of them; sweeps reference them by name.
+Twenty-one scenarios spanning every registered topology family — metro
+ring/mesh, spine-leaf, NSFNET, scale-free, fat-tree, Waxman WANs,
+oversubscribed Clos, Rocketfuel ISP maps, and the multi-region
+composite — crossed with the three workload families (uniform,
+heavy-tailed Pareto demands, bursty arrivals), static link failures, and
+time-driven fault injection (the ``resilience``-tagged campaigns).
+
+Every topology reference is registry-backed: specs carry a
+:class:`~repro.scenarios.spec.FamilyTopology` naming a family from
+:mod:`repro.network.topology`, its structural knobs ride on the
+scenario parameter dict (so ``scenarios sweep --set oversubscription=…``
+grids over fabric shape like any workload knob), and each spec
+auto-advertises a ``family:<name>`` tag for discovery.  Importing
+:mod:`repro.scenarios` registers all of them; sweeps reference them by
+name.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict
 
-from ..network import topologies
 from ..network.graph import Network
 from ..resilience.profile import FaultProfile
 from ..sim.rng import RandomStreams
@@ -22,7 +30,7 @@ from ..tasks.workload import TaskWorkload, WorkloadConfig
 from . import workloads
 from .failures import LinkFailureModel
 from .registry import register
-from .spec import ScenarioSpec
+from .spec import FamilyTopology, ScenarioSpec
 
 #: Workload parameters shared by every built-in scenario.
 _WORKLOAD_DEFAULTS: Dict[str, Any] = {
@@ -54,51 +62,42 @@ _MAINTENANCE_FAULTS: Dict[str, float] = {
     "node_mttr_ms": 2_000.0,
     "horizon_ms": 20_000.0,
 }
+#: Fault numbers for the composite flaky campaign.  The MTBF applies
+#: uniformly to every inter-switch span (metro, backbone, and gateway
+#: alike — FaultProfile has no per-region targeting yet; see ROADMAP),
+#: sized so several spans flap within the horizon on the default fabric.
+_WAN_FLAKY_FAULTS: Dict[str, float] = {
+    "link_mtbf_ms": 45_000.0,
+    "link_mttr_ms": 6_000.0,
+    "horizon_ms": 90_000.0,
+}
 
 
 # ---------------------------------------------------------------------------
-# Topology builders (module-level so specs stay picklable)
+# Registry-backed topology references (module-level, picklable)
 # ---------------------------------------------------------------------------
 
-def _toy_triangle(params: Dict[str, Any]) -> Network:
-    return topologies.toy_triangle()
-
-
-def _metro_mesh(params: Dict[str, Any]) -> Network:
-    return topologies.metro_mesh(
-        n_sites=params["n_sites"], servers_per_site=params["servers_per_site"]
-    )
-
-
-def _metro_ring(params: Dict[str, Any]) -> Network:
-    return topologies.metro_ring(
-        n_sites=params["n_sites"], servers_per_site=params["servers_per_site"]
-    )
-
-
-def _spine_leaf(params: Dict[str, Any]) -> Network:
-    return topologies.spine_leaf(
-        n_spines=params["n_spines"],
-        n_leaves=params["n_leaves"],
-        servers_per_leaf=params["servers_per_leaf"],
-    )
-
-
-def _nsfnet(params: Dict[str, Any]) -> Network:
-    return topologies.nsfnet(servers_per_site=params["servers_per_site"])
-
-
-def _scale_free(params: Dict[str, Any]) -> Network:
-    return topologies.scale_free(
-        n_routers=params["n_routers"],
-        m_links=params["m_links"],
-        seed=params["topology_seed"],
-        servers_per_site=params["servers_per_site"],
-    )
-
-
-def _fat_tree(params: Dict[str, Any]) -> Network:
-    return topologies.fat_tree(k=params["fat_tree_k"])
+_TOY_TRIANGLE = FamilyTopology("toy-triangle")
+_METRO_RING = FamilyTopology("metro-ring")
+_METRO_MESH = FamilyTopology("metro-mesh")
+_NSFNET = FamilyTopology("nsfnet")
+_SPINE_LEAF = FamilyTopology("spine-leaf")
+_SCALE_FREE = FamilyTopology("scale-free", rename=(("topology_seed", "seed"),))
+_FAT_TREE = FamilyTopology("fat-tree", rename=(("fat_tree_k", "k"),))
+_WAXMAN = FamilyTopology(
+    "waxman",
+    rename=(
+        ("topology_seed", "seed"),
+        ("waxman_alpha", "alpha"),
+        ("waxman_beta", "beta"),
+    ),
+)
+_CLOS = FamilyTopology("clos")
+_ISP_TELSTRA = FamilyTopology("isp-as1221-telstra")
+_ISP_EBONE = FamilyTopology("isp-as1755-ebone")
+_MULTI_METRO_WAN = FamilyTopology(
+    "multi-metro-wan", rename=(("topology_seed", "seed"),)
+)
 
 
 def _fig1_workload(
@@ -130,7 +129,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="toy-triangle",
             description="the Fig. 1 toy example: one 3-local task, no load",
-            topology=_toy_triangle,
+            topology=_TOY_TRIANGLE,
             workload=_fig1_workload,
             defaults={
                 "demand_gbps": 10.0,
@@ -143,7 +142,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="metro-mesh-uniform",
             description="the paper's metro mesh under the stock uniform mix",
-            topology=_metro_mesh,
+            topology=_METRO_MESH,
             workload=workloads.uniform,
             defaults={**_WORKLOAD_DEFAULTS, "n_sites": 16, "servers_per_site": 2},
             tags=("metro", "uniform", "figure"),
@@ -151,7 +150,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="metro-mesh-pareto",
             description="metro mesh with heavy-tailed (Pareto) task demands",
-            topology=_metro_mesh,
+            topology=_METRO_MESH,
             workload=workloads.pareto,
             defaults={
                 **_WORKLOAD_DEFAULTS,
@@ -165,7 +164,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="metro-mesh-failures",
             description="metro mesh degraded by two random span failures",
-            topology=_metro_mesh,
+            topology=_METRO_MESH,
             workload=workloads.uniform,
             failures=LinkFailureModel(n_failures=2),
             defaults={**_WORKLOAD_DEFAULTS, "n_sites": 16, "servers_per_site": 2},
@@ -174,7 +173,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="metro-ring-uniform",
             description="the plain metro ring (no chords) under uniform load",
-            topology=_metro_ring,
+            topology=_METRO_RING,
             workload=workloads.uniform,
             defaults={**_WORKLOAD_DEFAULTS, "n_sites": 8, "servers_per_site": 2},
             tags=("metro", "uniform"),
@@ -182,7 +181,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="spine-leaf-uniform",
             description="the all-optical spine-leaf fabric, uniform mix",
-            topology=_spine_leaf,
+            topology=_SPINE_LEAF,
             workload=workloads.uniform,
             defaults={
                 **_WORKLOAD_DEFAULTS,
@@ -195,7 +194,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="nsfnet-wan",
             description="14-node NSFNET WAN where propagation dominates",
-            topology=_nsfnet,
+            topology=_NSFNET,
             workload=workloads.uniform,
             defaults={**_WORKLOAD_DEFAULTS, "servers_per_site": 2},
             tags=("wan", "uniform"),
@@ -203,7 +202,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="nsfnet-bursty",
             description="NSFNET under Poisson-cluster (bursty) arrivals",
-            topology=_nsfnet,
+            topology=_NSFNET,
             workload=workloads.bursty,
             defaults={
                 **_WORKLOAD_DEFAULTS,
@@ -218,7 +217,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="scale-free-hubs",
             description="Barabási–Albert graph whose hubs bottleneck traffic",
-            topology=_scale_free,
+            topology=_SCALE_FREE,
             workload=workloads.uniform,
             defaults={
                 **_WORKLOAD_DEFAULTS,
@@ -232,7 +231,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="scale-free-pareto",
             description="scale-free hubs stressed by heavy-tailed demands",
-            topology=_scale_free,
+            topology=_SCALE_FREE,
             workload=workloads.pareto,
             defaults={
                 **_WORKLOAD_DEFAULTS,
@@ -248,7 +247,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="fat-tree-uniform",
             description="k=4 fat-tree datacenter fabric, uniform mix",
-            topology=_fat_tree,
+            topology=_FAT_TREE,
             workload=workloads.uniform,
             defaults={**_WORKLOAD_DEFAULTS, "fat_tree_k": 4},
             tags=("datacenter", "uniform"),
@@ -256,7 +255,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="fat-tree-bursty",
             description="fat-tree under bursty arrivals (incast-like pressure)",
-            topology=_fat_tree,
+            topology=_FAT_TREE,
             workload=workloads.bursty,
             defaults={
                 **_WORKLOAD_DEFAULTS,
@@ -268,11 +267,76 @@ def register_builtin_scenarios() -> None:
             serve="campaign",
             tags=("datacenter", "bursty"),
         ),
+        # --- new topology families (PR 5) -----------------------------
+        # Each new-family spec seeds its defaults from the family's own
+        # schema (family_defaults applies the rename map in reverse), so
+        # *every* fabric knob is sweepable — then overrides the sizes
+        # that keep default sweeps fast.
+        ScenarioSpec(
+            name="waxman-wan",
+            description="Waxman random WAN; alpha/beta/seed sweep the fabric",
+            topology=_WAXMAN,
+            workload=workloads.uniform,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                **_WAXMAN.family_defaults(),
+                "n_routers": 16,
+                "topology_seed": 1,
+            },
+            tags=("wan", "uniform"),
+        ),
+        ScenarioSpec(
+            name="clos-oversub",
+            description="folded Clos; oversubscription grids from 1:1 upward",
+            topology=_CLOS,
+            workload=workloads.uniform,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                **_CLOS.family_defaults(),
+                "oversubscription": 4.0,
+            },
+            tags=("datacenter", "uniform", "oversubscription"),
+        ),
+        ScenarioSpec(
+            name="isp-telstra",
+            description="Telstra AS1221 backbone with degree-inferred capacities",
+            topology=_ISP_TELSTRA,
+            workload=workloads.uniform,
+            defaults={**_WORKLOAD_DEFAULTS, **_ISP_TELSTRA.family_defaults()},
+            tags=("wan", "isp", "uniform"),
+        ),
+        ScenarioSpec(
+            name="isp-ebone-pareto",
+            description="Ebone AS1755 backbone under heavy-tailed demands",
+            topology=_ISP_EBONE,
+            workload=workloads.pareto,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                **_ISP_EBONE.family_defaults(),
+                "pareto_alpha": 1.8,
+                "demand_cap_gbps": 80.0,
+            },
+            tags=("wan", "isp", "pareto"),
+        ),
+        ScenarioSpec(
+            name="multi-metro-wan",
+            description="three metro meshes over a Waxman backbone (composite)",
+            topology=_MULTI_METRO_WAN,
+            workload=workloads.uniform,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                **_MULTI_METRO_WAN.family_defaults(),
+                "sites_per_region": 4,
+                "backbone_routers": 8,
+                "topology_seed": 1,
+            },
+            tags=("composite", "wan", "metro", "uniform"),
+        ),
         # --- failure-aware campaigns (time-driven fault injection) ----
         ScenarioSpec(
             name="metro-mesh-flaky-links",
             description="metro mesh campaign with stochastic span fail/repair",
-            topology=_metro_mesh,
+            topology=_METRO_MESH,
             workload=workloads.uniform,
             fault_profile=FaultProfile(**_FLAKY_LINK_FAULTS),
             defaults={
@@ -289,7 +353,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="nsfnet-node-outages",
             description="NSFNET campaign with node (server+router) outages",
-            topology=_nsfnet,
+            topology=_NSFNET,
             workload=workloads.uniform,
             fault_profile=FaultProfile(
                 **_NODE_OUTAGE_FAULTS, node_kinds=("server", "router")
@@ -307,7 +371,7 @@ def register_builtin_scenarios() -> None:
         ScenarioSpec(
             name="metro-roadm-maintenance",
             description="metro mesh under deterministic ROADM+span maintenance",
-            topology=_metro_mesh,
+            topology=_METRO_MESH,
             workload=workloads.uniform,
             fault_profile=FaultProfile(
                 **_MAINTENANCE_FAULTS,
@@ -324,6 +388,32 @@ def register_builtin_scenarios() -> None:
             },
             serve="campaign",
             tags=("metro", "uniform", "failures", "resilience", "optical"),
+        ),
+        ScenarioSpec(
+            name="multi-metro-wan-flaky",
+            description="composite campaign with span fail/repair across regions",
+            topology=_MULTI_METRO_WAN,
+            workload=workloads.uniform,
+            fault_profile=FaultProfile(**_WAN_FLAKY_FAULTS),
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                **_MULTI_METRO_WAN.family_defaults(),
+                "sites_per_region": 4,
+                "backbone_routers": 8,
+                "topology_seed": 1,
+                "rounds": 6,
+                "mean_interarrival_ms": 500.0,
+                **_WAN_FLAKY_FAULTS,
+            },
+            serve="campaign",
+            tags=(
+                "composite",
+                "wan",
+                "metro",
+                "uniform",
+                "failures",
+                "resilience",
+            ),
         ),
     )
     for spec in specs:

@@ -9,7 +9,7 @@ pickled from the parent (see ``sweep._init_worker``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from .spec import ScenarioSpec
@@ -52,9 +52,17 @@ def get_scenario(name: str) -> ScenarioSpec:
         ) from None
 
 
-def list_scenarios(tag: Optional[str] = None) -> List[ScenarioSpec]:
-    """Registered specs in name order, optionally filtered by tag."""
+def list_scenarios(
+    tag: Optional[str] = None, *, tags: Sequence[str] = ()
+) -> List[ScenarioSpec]:
+    """Registered specs in name order, optionally filtered by tags.
+
+    ``tag`` (the original single filter) and ``tags`` combine: a spec
+    must carry *every* requested tag.  Topology-family membership is a
+    tag too (``family:waxman``), auto-added by registry-backed specs.
+    """
+    wanted = ([tag] if tag is not None else []) + list(tags)
     specs = (spec for _, spec in sorted(_REGISTRY.items()))
-    if tag is None:
+    if not wanted:
         return list(specs)
-    return [spec for spec in specs if tag in spec.tags]
+    return [spec for spec in specs if all(t in spec.tags for t in wanted)]

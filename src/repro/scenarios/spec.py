@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..network.graph import Network
+from ..params import coerce_override
 from ..resilience.processes import FaultTimeline, build_timeline
 from ..resilience.profile import FaultProfile
 from ..sim.rng import RandomStreams
@@ -25,6 +26,63 @@ from .failures import LinkFailureModel
 TopologyBuilder = Callable[[Dict[str, Any]], Network]
 #: Builds the task mix on that fabric from params + named streams.
 WorkloadBuilder = Callable[[Network, Dict[str, Any], RandomStreams], TaskWorkload]
+
+
+@dataclass(frozen=True)
+class FamilyTopology:
+    """A registry-backed topology reference usable as a spec's builder.
+
+    Instead of a bespoke closure per scenario, a spec names a registered
+    :class:`~repro.network.topology.family.TopologyFamily` and this
+    adapter forwards the scenario's merged parameters to it: every
+    scenario parameter whose (optionally renamed) key appears in the
+    family's schema is passed through, the rest — workload knobs, fault
+    numbers — are ignored.  Because family parameters ride on the
+    scenario's own parameter dict, ``scenarios sweep --set`` can grid
+    over topology structure (Waxman ``alpha``, Clos oversubscription)
+    exactly like any workload knob, and the family's schema validates
+    bounds on every build.
+
+    Attributes:
+        family: a registered topology-family name.
+        rename: ``(scenario_key, family_key)`` pairs mapping scenario
+            parameter names onto schema names (e.g. ``topology_seed``
+            -> ``seed``); stored as a tuple so the spec stays hashable
+            and picklable for spawn-started sweep workers.
+    """
+
+    family: str
+    rename: Tuple[Tuple[str, str], ...] = ()
+
+    def __call__(self, params: Dict[str, Any]) -> Network:
+        # Imported here to keep repro.network.topology free to import
+        # nothing from the scenario layer.
+        from ..network.topology import get_family
+
+        fam = get_family(self.family)
+        rename = dict(self.rename)
+        schema_keys = {spec.name for spec in fam.schema}
+        overrides = {}
+        for key, value in params.items():
+            target = rename.get(key, key)
+            if target in schema_keys:
+                overrides[target] = value
+        return fam.build(overrides)
+
+    def family_defaults(self) -> Dict[str, Any]:
+        """The family's schema defaults under *scenario* parameter names.
+
+        Convenience for catalogue authors: seeds a spec's ``defaults``
+        with every topology knob so each one is sweepable, with the
+        rename map applied in reverse.
+        """
+        from ..network.topology import get_family
+
+        reverse = {dst: src for src, dst in self.rename}
+        return {
+            reverse.get(spec.name, spec.name): spec.default
+            for spec in get_family(self.family).schema
+        }
 
 
 @dataclass(frozen=True)
@@ -106,13 +164,31 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: a fault_profile is time-driven "
                 "and requires serve='campaign'"
             )
+        # Registry-backed topologies advertise their family as a tag, so
+        # `repro scenarios list --tag family:waxman` finds every scenario
+        # on a given fabric without catalogue authors hand-tagging.
+        family_tag = (
+            f"family:{self.topology.family}"
+            if isinstance(self.topology, FamilyTopology)
+            else None
+        )
+        if family_tag is not None and family_tag not in self.tags:
+            object.__setattr__(self, "tags", tuple(self.tags) + (family_tag,))
+
+    @property
+    def topology_family(self) -> Optional[str]:
+        """The registered family name, when the topology is registry-backed."""
+        if isinstance(self.topology, FamilyTopology):
+            return self.topology.family
+        return None
 
     def merge_params(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
         """Defaults overlaid with ``overrides``; unknown keys rejected.
 
-        A numeric default accepts any numeric override; otherwise the
-        override must match the default's type (None defaults accept
-        anything).
+        Coercion follows the shared policy in :mod:`repro.params`: a
+        numeric default accepts any numeric override, a None default
+        accepts numbers or None, anything else must match the default's
+        type.
         """
         merged = dict(self.defaults)
         for key, value in (overrides or {}).items():
@@ -121,30 +197,11 @@ class ScenarioSpec:
                     f"scenario {self.name!r} has no parameter {key!r}; "
                     f"valid: {sorted(merged)}"
                 )
-            default = merged[key]
-            if default is not None:
-                numeric = isinstance(default, (int, float)) and not isinstance(
-                    default, bool
-                )
-                if numeric:
-                    if isinstance(value, bool) or not isinstance(value, (int, float)):
-                        raise ConfigurationError(
-                            f"scenario {self.name!r}: parameter {key!r} "
-                            f"expects a number, got {value!r}"
-                        )
-                    if isinstance(default, int) and isinstance(value, float):
-                        if not value.is_integer():
-                            raise ConfigurationError(
-                                f"scenario {self.name!r}: parameter {key!r} "
-                                f"expects an integer, got {value!r}"
-                            )
-                        value = int(value)
-                elif not isinstance(value, type(default)):
-                    raise ConfigurationError(
-                        f"scenario {self.name!r}: parameter {key!r} expects "
-                        f"{type(default).__name__}, got {value!r}"
-                    )
-            merged[key] = value
+            merged[key] = coerce_override(
+                value,
+                merged[key],
+                where=f"scenario {self.name!r}: parameter {key!r}",
+            )
         return merged
 
     def instantiate(

@@ -47,6 +47,7 @@ from .engine import (
 )
 from .sinks import (
     SINK_KINDS,
+    CsvSink,
     JsonSink,
     JsonlSink,
     ResultSink,
@@ -57,6 +58,7 @@ from .sinks import (
 
 __all__ = [
     "Grid",
+    "CsvSink",
     "JsonSink",
     "JsonlSink",
     "OrderedRecorder",

@@ -9,6 +9,8 @@ implementations ship:
 * :class:`JsonlSink` — one JSON line per row, appended run-by-run (the
   original streaming sink).
 * :class:`JsonSink` — one complete JSON document written at close.
+* :class:`CsvSink` — one spreadsheet-ready CSV, streamed run-by-run
+  with a deterministic widening header.
 * :class:`SqliteSink` — a queryable SQLite schema (``runs`` / ``rows`` /
   ``row_metrics``) with *incremental* running-mean aggregation: the
   ``aggregates`` table is updated as rows stream in, not reduced
@@ -19,6 +21,7 @@ implementations ship:
 from __future__ import annotations
 
 import abc
+import csv
 import json
 import os
 import sqlite3
@@ -29,7 +32,7 @@ from ...reporting import Row
 from .engine import RunKey
 
 #: Sink kinds the CLI's ``--sink`` flag accepts.
-SINK_KINDS = ("json", "jsonl", "sqlite")
+SINK_KINDS = ("csv", "json", "jsonl", "sqlite")
 
 
 class ResultSink(abc.ABC):
@@ -131,6 +134,102 @@ class JsonSink(ResultSink):
 
     def abort(self) -> None:
         self._rows = []
+
+
+class CsvSink(ResultSink):
+    """Streaming CSV sink: one row per line under a widening header.
+
+    CSV needs its column set before the first data line, but a sweep's
+    full column union isn't known until the last run (campaign rows add
+    availability metrics, different scenarios add different params), so
+    the sink streams optimistically: the header is the sorted key set of
+    the first run's rows, appended rows fill absent columns with ``""``,
+    and a run that *introduces* columns triggers one rewrite of the file
+    with the widened header (new columns appended in sorted order, so
+    the column order is a pure function of the row stream).  Homogeneous
+    sweeps — the common case — therefore stream with zero rewrites.
+
+    Values: scalars land verbatim (booleans as ``true``/``false``,
+    ``None`` as empty), anything structured as compact JSON.  Mirroring
+    the JSONL sink, the file is truncated at open and each invocation
+    leaves one complete, duplicate-free row set; on abort the rows
+    already streamed stay on disk (honest partial output).  Nothing is
+    buffered between calls — a widening rewrite recovers the earlier
+    rows from the on-disk file itself, which is complete and flushed by
+    construction, and streams row-by-row through a temp file — so memory
+    stays O(one run) however long the sweep.
+    """
+
+    name = "csv"
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._handle: Optional[Any] = None
+        self._fieldnames: List[str] = []
+
+    def open(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self._path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(self._path, "w", encoding="utf-8", newline="")
+        self._fieldnames = []
+
+    @staticmethod
+    def _cell(value: Any) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, (int, float, str)):
+            return str(value)
+        return json.dumps(value, sort_keys=True, default=str)
+
+    def _widen(self, fresh: List[str]) -> None:
+        """Rewrite the file under the widened header, keeping old rows.
+
+        Streams old rows one at a time through a temp file, so even the
+        rewrite never holds more than one row in memory.
+        """
+        self._handle.close()
+        self._fieldnames = self._fieldnames + fresh
+        temp = self._path + ".widen.tmp"
+        with open(self._path, encoding="utf-8", newline="") as source, open(
+            temp, "w", encoding="utf-8", newline=""
+        ) as target:
+            writer = csv.DictWriter(
+                target, fieldnames=self._fieldnames, restval=""
+            )
+            writer.writeheader()
+            for row in csv.DictReader(source):
+                writer.writerow(row)
+        os.replace(temp, self._path)
+        self._handle = open(self._path, "a", encoding="utf-8", newline="")
+
+    def write_run(self, key: RunKey, rows: List[Row]) -> None:
+        encoded = [
+            {field: self._cell(value) for field, value in row.items()}
+            for row in rows
+        ]
+        fresh = sorted(
+            {field for row in encoded for field in row}
+            - set(self._fieldnames)
+        )
+        if fresh and self._fieldnames:
+            self._widen(fresh)
+        elif fresh:  # first run with any columns: emit the header
+            self._fieldnames = fresh
+            csv.DictWriter(
+                self._handle, fieldnames=self._fieldnames
+            ).writeheader()
+        if self._fieldnames:
+            csv.DictWriter(
+                self._handle, fieldnames=self._fieldnames, restval=""
+            ).writerows(encoded)
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 class SqliteSink(ResultSink):
@@ -310,6 +409,8 @@ def make_sink(kind: str, path: str) -> ResultSink:
         return JsonlSink(path)
     if kind == "json":
         return JsonSink(path)
+    if kind == "csv":
+        return CsvSink(path)
     if kind == "sqlite":
         return SqliteSink(path)
     raise ConfigurationError(

@@ -41,3 +41,139 @@ class TestMain:
         out = capsys.readouterr().out
         assert "rdma" in out
         assert "tcp" in out
+
+
+class TestTopologiesCli:
+    def test_list_prints_all_families(self, capsys):
+        assert main(["topologies", "list"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) >= 11
+        for name in ("waxman", "clos", "isp-as1221-telstra", "multi-metro-wan"):
+            assert name in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["topologies", "list", "--tag", "composite"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-metro-wan" in out
+        assert "nsfnet" not in out
+
+    def test_describe_shows_schema(self, capsys):
+        assert main(["topologies", "describe", "waxman"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+        assert "beta" in out
+        assert "seeded: yes" in out
+        assert "<= 1" in out  # bounds are printed
+
+    def test_describe_unknown_family_fails_cleanly(self, capsys):
+        assert main(["topologies", "describe", "moebius"]) == 2
+        assert "unknown topology family" in capsys.readouterr().err
+
+    def test_build_prints_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "topologies",
+                    "build",
+                    "multi-metro-wan",
+                    "--set",
+                    "n_regions=2",
+                    "--set",
+                    "sites_per_region=3",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        assert "connected: yes" in out
+        assert "regions:" in out
+        assert "wan(" in out
+
+    def test_build_save_writes_node_link_json(self, tmp_path, capsys):
+        path = tmp_path / "net.json"
+        assert (
+            main(
+                ["topologies", "build", "nsfnet", "--save", str(path)]
+            )
+            == 0
+        )
+        data = json.loads(path.read_text())
+        assert data["family"] == "nsfnet"
+        assert len(data["nodes"]) == 28
+        assert len(data["links"]) == 35
+
+    def test_build_rejects_out_of_bounds(self, capsys):
+        assert (
+            main(
+                [
+                    "topologies",
+                    "build",
+                    "clos",
+                    "--set",
+                    "oversubscription=0.5",
+                ]
+            )
+            == 2
+        )
+        assert "must be >=" in capsys.readouterr().err
+
+    def test_build_bad_set_syntax_fails_cleanly(self, capsys):
+        assert main(["topologies", "build", "waxman", "--set", "oops"]) == 2
+
+    def test_build_seed_on_deterministic_family_fails_cleanly(self, capsys):
+        assert main(["topologies", "build", "nsfnet", "--seed", "1"]) == 2
+        assert "no seed" in capsys.readouterr().err
+
+
+class TestScenarioTagCli:
+    def test_family_tag_lists_scenarios(self, capsys):
+        assert main(["scenarios", "list", "--tag", "family:waxman"]) == 0
+        out = capsys.readouterr().out
+        assert "waxman-wan" in out
+        assert "nsfnet-wan" not in out
+
+    def test_repeated_tags_are_conjunctive(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "list",
+                    "--tag",
+                    "composite",
+                    "--tag",
+                    "resilience",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "multi-metro-wan-flaky" in out
+        assert "multi-metro-wan " not in out
+
+
+class TestCsvSinkCli:
+    def test_sweep_streams_csv(self, tmp_path, capsys):
+        path = tmp_path / "rows.csv"
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "sweep",
+                    "toy-triangle",
+                    "--set",
+                    "demand_gbps=5,10",
+                    "--sink",
+                    "csv",
+                    "--sink-path",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 5  # header + 2 runs x 2 schedulers
+        assert lines[0].split(",") == sorted(lines[0].split(","))

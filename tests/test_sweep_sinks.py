@@ -1,5 +1,6 @@
-"""Result sinks: JSONL streaming, whole-file JSON, and the SQLite store."""
+"""Result sinks: JSONL/CSV streaming, whole-file JSON, the SQLite store."""
 
+import csv
 import json
 import sqlite3
 
@@ -7,6 +8,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.scenarios import (
+    CsvSink,
     JsonSink,
     JsonlSink,
     SqliteSink,
@@ -15,6 +17,7 @@ from repro.scenarios import (
     run_sweep,
 )
 from repro.scenarios.sweep import make_sink
+from repro.scenarios.sweep.engine import RunKey
 
 TOY_CONFIG = SweepConfig(
     scenarios=("toy-triangle",),
@@ -27,11 +30,12 @@ class TestMakeSink:
     def test_kinds(self, tmp_path):
         assert isinstance(make_sink("jsonl", str(tmp_path / "a")), JsonlSink)
         assert isinstance(make_sink("json", str(tmp_path / "b")), JsonSink)
-        assert isinstance(make_sink("sqlite", str(tmp_path / "c")), SqliteSink)
+        assert isinstance(make_sink("csv", str(tmp_path / "c")), CsvSink)
+        assert isinstance(make_sink("sqlite", str(tmp_path / "d")), SqliteSink)
 
     def test_unknown_kind_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError, match="unknown sink"):
-            make_sink("csv", str(tmp_path / "x"))
+            make_sink("parquet", str(tmp_path / "x"))
 
 
 class TestJsonSink:
@@ -55,6 +59,67 @@ class TestJsonlSinkViaSinkArg:
         b = tmp_path / "b.json"
         run_sweep(TOY_CONFIG, jsonl_path=str(a), sink=JsonSink(str(b)))
         assert a.exists() and b.exists()
+
+
+class TestCsvSink:
+    def test_rows_round_trip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        result = run_sweep(TOY_CONFIG, sink=CsvSink(str(path)))
+        with open(path, newline="") as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == len(result.rows)
+        # Every original (key, value) survives under str() encoding.
+        for got, want in zip(parsed, result.rows):
+            for key, value in want.items():
+                assert got[key] == ("" if value is None else str(value))
+
+    def test_header_is_sorted_union(self, tmp_path):
+        path = tmp_path / "out.csv"
+        result = run_sweep(TOY_CONFIG, sink=CsvSink(str(path)))
+        header = path.read_text().splitlines()[0].split(",")
+        assert header == sorted({key for row in result.rows for key in row})
+
+    def test_widening_header_rewrites_once(self, tmp_path):
+        """A later run with new columns widens the header; earlier rows
+        backfill with empty cells."""
+        sink = CsvSink(str(tmp_path / "w.csv"))
+        sink.open()
+        sink.write_run(RunKey.make("s", {"i": 0}, 0), [{"a": 1}])
+        sink.write_run(RunKey.make("s", {"i": 1}, 0), [{"a": 2, "b": 3}])
+        sink.close()
+        with open(tmp_path / "w.csv", newline="") as handle:
+            parsed = list(csv.DictReader(handle))
+        assert parsed == [{"a": "1", "b": ""}, {"a": "2", "b": "3"}]
+
+    def test_structured_values_become_json(self, tmp_path):
+        sink = CsvSink(str(tmp_path / "j.csv"))
+        sink.open()
+        sink.write_run(
+            RunKey.make("s", {}, 0),
+            [{"flag": True, "items": [1, 2], "none": None}],
+        )
+        sink.close()
+        with open(tmp_path / "j.csv", newline="") as handle:
+            (row,) = list(csv.DictReader(handle))
+        assert row == {"flag": "true", "items": "[1, 2]", "none": ""}
+
+    def test_truncates_between_invocations(self, tmp_path):
+        """Cached runs re-emit on resume, so appending would double-count."""
+        path = tmp_path / "r.csv"
+        cache = str(tmp_path / "cache")
+        run_sweep(TOY_CONFIG, cache_dir=cache, sink=CsvSink(str(path)))
+        first = path.read_text()
+        run_sweep(TOY_CONFIG, cache_dir=cache, sink=CsvSink(str(path)))
+        assert path.read_text() == first
+
+    def test_keeps_partial_stream_on_failure(self, tmp_path):
+        from repro.scenarios import SocketQueueBackend
+
+        path = tmp_path / "partial.csv"
+        backend = SocketQueueBackend(local_workers=0, timeout=0.5)
+        with pytest.raises(ConfigurationError, match="timed out"):
+            run_sweep(TOY_CONFIG, backend=backend, sink=CsvSink(str(path)))
+        assert path.exists()
 
 
 class TestSqliteSchema:
