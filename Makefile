@@ -1,18 +1,23 @@
-.PHONY: test bench bench-scheduler smoke sweep-smoke topo-smoke properties all
+.PHONY: test bench bench-smoke bench-verify smoke sweep-smoke topo-smoke properties all
 
 # Tier-1: the full test suite (pyproject.toml supplies pythonpath/testpaths).
 test:
 	python -m pytest -q
 
-# The benchmark suite (needs pytest-benchmark).
+# Full benchmark run through the unified harness: every registered
+# suite asserts its shape, and one machine-tagged record is appended
+# to BENCH_HISTORY.jsonl (see BASELINES.md).
 bench:
-	python -m pytest benchmarks -q
+	PYTHONPATH=src python -m repro.cli bench run
 
-# Scheduler hot-path benchmark: schedule() throughput with/without the
-# routing cache on scale-free N in {50,200}; records BENCH_scheduler.json
-# and asserts the >=3x cache speedup on N=200.
-bench-scheduler:
-	python -m pytest benchmarks/test_bench_scheduler.py -q
+# The same suites with heavy workloads shrunk to seconds (what CI runs);
+# the record is tagged smoke so verify skips the timing floors.
+bench-smoke:
+	PYTHONPATH=src python -m repro.cli bench run --smoke
+
+# Gate the tracked per-suite floors against the newest history record.
+bench-verify:
+	PYTHONPATH=src python -m repro.cli bench verify
 
 # The hypothesis property suites under the derandomized CI profile.
 properties:

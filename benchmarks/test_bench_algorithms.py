@@ -3,11 +3,16 @@
 These time the primitives every experiment leans on — shortest paths,
 terminal-tree construction, and one end-to-end schedule of each
 scheduler — so performance regressions in the kernels show up without
-running a full figure sweep.
+running a full figure sweep.  The registered suite reports per-primitive
+milliseconds into ``BENCH_HISTORY.jsonl``; smoke mode drops the repeat
+count.
 """
+
+import time
 
 import pytest
 
+from repro.bench import bench_suite
 from repro.core.fixed import FixedScheduler
 from repro.core.flexible import FlexibleScheduler
 from repro.network.paths import dijkstra, k_shortest_paths, terminal_tree
@@ -35,6 +40,49 @@ def make_task(net, n_locals, demand=10.0):
         local_nodes=tuple(servers[1 : n_locals + 1]),
         demand_gbps=demand,
     )
+
+
+@bench_suite("algorithms", headline="flexible_schedule_ms")
+def suite(smoke: bool = False) -> dict:
+    """Kernel micro-benchmarks: Dijkstra, Yen, terminal trees, schedules."""
+    rounds = 3 if smoke else 25
+    large_net = random_geometric(60, seed=5, servers_per_site=1)
+    mesh = metro_mesh(n_sites=16, servers_per_site=2)
+    servers = large_net.servers()
+    task = make_task(mesh, 10)
+    fixed, flexible = FixedScheduler(), FlexibleScheduler()
+
+    def timed_ms(fn):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            fn()
+        return round(1_000.0 * (time.perf_counter() - start) / rounds, 4)
+
+    path = dijkstra(large_net, servers[0], servers[-1])
+    assert path.nodes[0] == servers[0]
+    assert len(k_shortest_paths(large_net, servers[0], servers[-1], 4)) >= 1
+    tree = terminal_tree(large_net, servers[0], servers[1:11])
+    assert len(tree.nodes) >= 11
+    assert fixed.schedule(task, mesh.copy_topology()).consumed_bandwidth_gbps > 0
+    assert flexible.schedule(task, mesh.copy_topology()).is_tree_based
+    return {
+        "rounds": rounds,
+        "dijkstra_ms": timed_ms(
+            lambda: dijkstra(large_net, servers[0], servers[-1])
+        ),
+        "yen_k4_ms": timed_ms(
+            lambda: k_shortest_paths(large_net, servers[0], servers[-1], 4)
+        ),
+        "terminal_tree_ms": timed_ms(
+            lambda: terminal_tree(large_net, servers[0], servers[1:11])
+        ),
+        "fixed_schedule_ms": timed_ms(
+            lambda: fixed.schedule(task, mesh.copy_topology())
+        ),
+        "flexible_schedule_ms": timed_ms(
+            lambda: flexible.schedule(task, mesh.copy_topology())
+        ),
+    }
 
 
 def test_dijkstra_60_nodes(benchmark, large_net):

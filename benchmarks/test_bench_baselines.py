@@ -7,15 +7,16 @@ bandwidth dominates all three alternatives; aggregation-capable schemes
 once the local count stresses the global node's access link.
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.extensions import run_baselines_comparison
 
+from benchmarks.conftest import run_once
 
-def test_four_scheduler_comparison(benchmark):
-    result = run_once(
-        benchmark, run_baselines_comparison, n_locals_values=(3, 15), n_tasks=10
-    )
+
+@bench_suite("baselines", headline="agg_latency_win_ms")
+def suite(smoke: bool = False) -> dict:
+    """Four-scheduler comparison: flexible dominates on bandwidth."""
+    result = run_baselines_comparison(n_locals_values=(3, 15), n_tasks=10)
 
     def value(scheduler, n_locals, key):
         for row in result.rows:
@@ -37,5 +38,22 @@ def test_four_scheduler_comparison(benchmark):
         for per_path in ("fixed-spff", "ksp-lb"):
             assert value(aggregating, 15, "round_ms") < value(per_path, 15, "round_ms")
 
-    print()
-    print(result.to_table())
+    worst_aggregating = max(
+        value(s, 15, "round_ms") for s in ("chain", "flexible-mst")
+    )
+    best_per_path = min(
+        value(s, 15, "round_ms") for s in ("fixed-spff", "ksp-lb")
+    )
+    return {
+        "flexible_bandwidth_at_15": round(
+            value("flexible-mst", 15, "bandwidth_gbps"), 4
+        ),
+        "fixed_bandwidth_at_15": round(
+            value("fixed-spff", 15, "bandwidth_gbps"), 4
+        ),
+        "agg_latency_win_ms": round(best_per_path - worst_aggregating, 4),
+    }
+
+
+def test_four_scheduler_comparison(benchmark):
+    run_once(benchmark, suite)

@@ -8,13 +8,16 @@ blocks tasks — shed load is not served load — so the honest comparison
 is completion count at equal offered load.
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.extensions import run_campaign_comparison
 
+from benchmarks.conftest import run_once
 
-def test_concurrent_campaign(benchmark):
-    result = run_once(benchmark, run_campaign_comparison, n_tasks=12)
+
+@bench_suite("campaign", headline="flexible_completed")
+def suite(smoke: bool = False) -> dict:
+    """Concurrent campaign: flexible admits and completes the whole mix."""
+    result = run_campaign_comparison(n_tasks=12)
     by_scheduler = {row["scheduler"]: row for row in result.rows}
     fixed, flexible = by_scheduler["fixed-spff"], by_scheduler["flexible-mst"]
 
@@ -22,6 +25,14 @@ def test_concurrent_campaign(benchmark):
     assert flexible["blocked"] <= fixed["blocked"]
     assert flexible["blocked"] == 0, "flexible should admit the whole mix"
     assert flexible["completed"] == 12
+    return {
+        "offered": 12,
+        "flexible_completed": flexible["completed"],
+        "flexible_blocked": flexible["blocked"],
+        "fixed_completed": fixed["completed"],
+        "fixed_blocked": fixed["blocked"],
+    }
 
-    print()
-    print(result.to_table())
+
+def test_concurrent_campaign(benchmark):
+    run_once(benchmark, suite)

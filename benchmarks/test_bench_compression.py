@@ -6,15 +6,16 @@ falls to roughly half for both schedulers, and compression does not
 change which scheduler wins.
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.extensions import run_compression_ablation
 
+from benchmarks.conftest import run_once
 
-def test_fp16_compression(benchmark):
-    result = run_once(
-        benchmark, run_compression_ablation, n_tasks=10, n_locals=9
-    )
+
+@bench_suite("compression", headline="fp16_comm_ratio")
+def suite(smoke: bool = False) -> dict:
+    """fp16 ablation: half the wire format, same scheduler ordering."""
+    result = run_compression_ablation(n_tasks=10, n_locals=9)
 
     def row(precision, scheduler):
         for record in result.rows:
@@ -22,10 +23,12 @@ def test_fp16_compression(benchmark):
                 return record
         raise AssertionError("row missing")
 
+    ratios = {}
     for scheduler in ("fixed-spff", "flexible-mst"):
         full = row("fp32", scheduler)["comm_ms"]
         half = row("fp16", scheduler)["comm_ms"]
-        assert 0.35 < half / full < 0.65, "fp16 should ~halve communication"
+        ratios[scheduler] = half / full
+        assert 0.35 < ratios[scheduler] < 0.65, "fp16 should ~halve communication"
 
     # The schedulers' relative order is precision-invariant.
     for precision in ("fp32", "fp16"):
@@ -33,6 +36,14 @@ def test_fp16_compression(benchmark):
             row(precision, "flexible-mst")["round_ms"]
             < row(precision, "fixed-spff")["round_ms"] * 1.05
         )
+    return {
+        "fp16_comm_ratio": round(ratios["flexible-mst"], 4),
+        "fp16_comm_ratio_fixed": round(ratios["fixed-spff"], 4),
+        "flexible_round_ms_fp16": round(
+            row("fp16", "flexible-mst")["round_ms"], 4
+        ),
+    }
 
-    print()
-    print(result.to_table())
+
+def test_fp16_compression(benchmark):
+    run_once(benchmark, suite)

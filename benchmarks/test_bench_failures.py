@@ -7,15 +7,16 @@ repaired state consumes less bandwidth (more headroom for the next
 failure).
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.extensions import run_failure_recovery
 
+from benchmarks.conftest import run_once
 
-def test_failure_recovery(benchmark):
-    result = run_once(
-        benchmark, run_failure_recovery, n_tasks=10, n_failures=4
-    )
+
+@bench_suite("failures", headline="repair_rate")
+def suite(smoke: bool = False) -> dict:
+    """Failure recovery: the mesh keeps most tasks running through cuts."""
+    result = run_failure_recovery(n_tasks=10, n_failures=4)
     by_scheduler = {row["scheduler"]: row for row in result.rows}
 
     for row in result.rows:
@@ -28,6 +29,20 @@ def test_failure_recovery(benchmark):
         by_scheduler["flexible-mst"]["bandwidth_after_gbps"]
         < by_scheduler["fixed-spff"]["bandwidth_after_gbps"]
     )
+    flexible = by_scheduler["flexible-mst"]
+    return {
+        "affected": flexible["affected"],
+        "repaired": flexible["repaired"],
+        "repair_rate": round(
+            flexible["repaired"] / flexible["affected"], 4
+        )
+        if flexible["affected"]
+        else 1.0,
+        "flexible_bandwidth_after_gbps": round(
+            flexible["bandwidth_after_gbps"], 4
+        ),
+    }
 
-    print()
-    print(result.to_table())
+
+def test_failure_recovery(benchmark):
+    run_once(benchmark, suite)

@@ -5,13 +5,16 @@ a connectivity set that consumes fewer link-rate units and aggregates at
 intermediate nodes rather than only at the global model.
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.fig1 import run_fig1
 
+from benchmarks.conftest import run_once
 
-def test_fig1_connectivity_example(benchmark):
-    result = run_once(benchmark, run_fig1)
+
+@bench_suite("fig1", headline="bandwidth_saving_gbps")
+def suite(smoke: bool = False) -> dict:
+    """Fig. 1 connectivity example: flexible beats fixed on bandwidth."""
+    result = run_fig1()
     rows = {row["scheduler"]: row for row in result.rows}
 
     fixed, flexible = rows["fixed-spff"], rows["flexible-mst"]
@@ -20,6 +23,15 @@ def test_fig1_connectivity_example(benchmark):
     assert flexible["aggregation_nodes"] != "S-G"
     # Uncontended toy: latencies must be within 20% of each other.
     assert abs(flexible["round_ms"] - fixed["round_ms"]) / fixed["round_ms"] < 0.2
+    return {
+        "fixed_bandwidth_gbps": round(fixed["bandwidth_gbps"], 4),
+        "flexible_bandwidth_gbps": round(flexible["bandwidth_gbps"], 4),
+        "bandwidth_saving_gbps": round(
+            fixed["bandwidth_gbps"] - flexible["bandwidth_gbps"], 4
+        ),
+        "flexible_aggregation_nodes": flexible["aggregation_nodes"],
+    }
 
-    print()
-    print(result.to_table())
+
+def test_fig1_connectivity_example(benchmark):
+    run_once(benchmark, suite)

@@ -9,15 +9,18 @@ Regenerates the latency panel and asserts the paper's claims:
   5-60% saving since our substrate is a simulator, not their testbed).
 """
 
-from benchmarks.conftest import run_once, series
-
+from repro.bench import bench_suite
 from repro.experiments.fig3 import Fig3Config, run_fig3
+
+from benchmarks.conftest import run_once, series
 
 CONFIG = Fig3Config(n_locals_values=(3, 9, 15), n_tasks=15, seed=7)
 
 
-def test_fig3a_latency_vs_locals(benchmark):
-    result = run_once(benchmark, run_fig3, CONFIG)
+@bench_suite("fig3a", headline="latency_saving_pct")
+def suite(smoke: bool = False) -> dict:
+    """Fig. 3a latency panel: flexible saves 5-60% at 15 locals."""
+    result = run_fig3(CONFIG)
 
     fixed = series(result, "fixed-spff", "round_ms")
     flexible = series(result, "flexible-mst", "round_ms")
@@ -31,6 +34,12 @@ def test_fig3a_latency_vs_locals(benchmark):
     # ...by a factor in the paper's ballpark.
     saving = (fixed[-1] - flexible[-1]) / fixed[-1]
     assert 0.05 < saving < 0.60, f"latency saving {saving:.1%} out of band"
+    return {
+        "fixed_round_ms_at_15": round(fixed[-1], 4),
+        "flexible_round_ms_at_15": round(flexible[-1], 4),
+        "latency_saving_pct": round(100.0 * saving, 2),
+    }
 
-    print()
-    print(result.to_table())
+
+def test_fig3a_latency_vs_locals(benchmark):
+    run_once(benchmark, suite)

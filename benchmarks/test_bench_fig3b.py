@@ -9,15 +9,18 @@ Asserts the paper's claims:
 * the gap widens as the number of local models grows.
 """
 
-from benchmarks.conftest import run_once, series
-
+from repro.bench import bench_suite
 from repro.experiments.fig3 import Fig3Config, run_fig3
+
+from benchmarks.conftest import run_once, series
 
 CONFIG = Fig3Config(n_locals_values=(3, 9, 15), n_tasks=15, seed=7)
 
 
-def test_fig3b_bandwidth_vs_locals(benchmark):
-    result = run_once(benchmark, run_fig3, CONFIG)
+@bench_suite("fig3b", headline="bandwidth_gap_gbps")
+def suite(smoke: bool = False) -> dict:
+    """Fig. 3b bandwidth panel: flexible below fixed, gap widening."""
+    result = run_fig3(CONFIG)
 
     fixed = series(result, "fixed-spff", "bandwidth_gbps")
     flexible = series(result, "flexible-mst", "bandwidth_gbps")
@@ -33,7 +36,15 @@ def test_fig3b_bandwidth_vs_locals(benchmark):
 
     # Flexible below fixed at every point; gap widens.
     assert all(f < x for f, x in zip(flexible, fixed))
-    assert (fixed[-1] - flexible[-1]) > (fixed[0] - flexible[0])
+    gap_widens = (fixed[-1] - flexible[-1]) > (fixed[0] - flexible[0])
+    assert gap_widens
+    return {
+        "fixed_bandwidth_at_15": round(fixed[-1], 4),
+        "flexible_bandwidth_at_15": round(flexible[-1], 4),
+        "bandwidth_gap_gbps": round(fixed[-1] - flexible[-1], 4),
+        "bandwidth_gap_widens": gap_widens,
+    }
 
-    print()
-    print(result.to_table())
+
+def test_fig3b_bandwidth_vs_locals(benchmark):
+    run_once(benchmark, suite)

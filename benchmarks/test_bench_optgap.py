@@ -6,20 +6,30 @@ optimum (ratio >= 1) and the textbook 2(1 - 1/k) guarantee, with the
 construction is near-optimal in practice, not merely bounded.
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.extensions import run_optimality_gap
 
+from benchmarks.conftest import run_once
 
-def test_mst_optimality_gap(benchmark):
-    result = run_once(
-        benchmark, run_optimality_gap, n_locals_values=(3, 5), n_samples=10
-    )
+
+@bench_suite("optgap", headline="worst_mean_ratio")
+def suite(smoke: bool = False) -> dict:
+    """MST optimality gap: bounded by the guarantee, small in practice."""
+    result = run_optimality_gap(n_locals_values=(3, 5), n_samples=10)
 
     for row in result.rows:
         assert 1.0 - 1e-9 <= row["mean_ratio"] <= row["worst_ratio"]
         assert row["worst_ratio"] <= row["guarantee"] + 1e-9
         assert row["mean_ratio"] < 1.10, "mean gap should be small in practice"
+    return {
+        "worst_mean_ratio": round(
+            max(row["mean_ratio"] for row in result.rows), 6
+        ),
+        "worst_ratio": round(
+            max(row["worst_ratio"] for row in result.rows), 6
+        ),
+    }
 
-    print()
-    print(result.to_table())
+
+def test_mst_optimality_gap(benchmark):
+    run_once(benchmark, suite)

@@ -7,15 +7,16 @@ Asserted shape: the flexible scheduler lights less spectrum, with the gap
 growing in the number of local models.
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.extensions import run_optical_spectrum
 
+from benchmarks.conftest import run_once
 
-def test_optical_spectrum(benchmark):
-    result = run_once(
-        benchmark, run_optical_spectrum, n_locals_values=(3, 15), n_tasks=8
-    )
+
+@bench_suite("optical", headline="wavelength_hop_gap")
+def suite(smoke: bool = False) -> dict:
+    """Optical spectrum: flexible lights less, gap grows with locals."""
+    result = run_optical_spectrum(n_locals_values=(3, 15), n_tasks=8)
 
     def hops(scheduler, n_locals):
         for row in result.rows:
@@ -28,8 +29,12 @@ def test_optical_spectrum(benchmark):
     gap_small = hops("fixed-spff", 3) - hops("flexible-mst", 3)
     gap_large = hops("fixed-spff", 15) - hops("flexible-mst", 15)
     assert gap_large > gap_small
+    return {
+        "fixed_hops_at_15": hops("fixed-spff", 15),
+        "flexible_hops_at_15": hops("flexible-mst", 15),
+        "wavelength_hop_gap": gap_large,
+    }
 
-    print()
-    print(result.to_table())
-    print()
-    print(result.to_ascii_chart("n_locals", "wavelength_hops", "scheduler"))
+
+def test_optical_spectrum(benchmark):
+    run_once(benchmark, suite)

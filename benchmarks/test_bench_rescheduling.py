@@ -6,20 +6,19 @@ monotone frontier: cheaper interruptions => more re-schedules => more
 bandwidth recovered after conditions improve.
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.ablations import run_rescheduling_ablation
+
+from benchmarks.conftest import run_once
 
 INTERRUPTIONS = (0.05, 5.0, 1e9)
 
 
-def test_rescheduling_tradeoff(benchmark):
-    result = run_once(
-        benchmark,
-        run_rescheduling_ablation,
-        interruption_values_ms=INTERRUPTIONS,
-        n_tasks=10,
-        seed=11,
+@bench_suite("rescheduling", headline="bandwidth_saved_gbps")
+def suite(smoke: bool = False) -> dict:
+    """Re-scheduling frontier: cheaper interruption, more recovery."""
+    result = run_rescheduling_ablation(
+        interruption_values_ms=INTERRUPTIONS, n_tasks=10, seed=11
     )
 
     rescheduled = [row["rescheduled"] for row in result.rows]
@@ -33,6 +32,11 @@ def test_rescheduling_tradeoff(benchmark):
     # The cheap interruption actually recovers bandwidth.
     assert rescheduled[0] > 0
     assert saved[0] > 0.0
+    return {
+        "rescheduled_cheap": rescheduled[0],
+        "bandwidth_saved_gbps": round(saved[0], 4),
+    }
 
-    print()
-    print(result.to_table())
+
+def test_rescheduling_tradeoff(benchmark):
+    run_once(benchmark, suite)

@@ -8,6 +8,7 @@ reports the availability columns the accountant produces.
 
 from __future__ import annotations
 
+from repro.bench import bench_suite
 from repro.experiments import run_resilience_sweep
 
 from benchmarks.conftest import run_once
@@ -15,8 +16,10 @@ from benchmarks.conftest import run_once
 MTBFS = (20_000.0, 80_000.0)
 
 
-def test_bench_resilience_sweep(benchmark):
-    result = run_once(benchmark, run_resilience_sweep, MTBFS, n_tasks=8)
+@bench_suite("resilience", headline="min_availability")
+def suite(smoke: bool = False) -> dict:
+    """Fault-injected sweep: shorter MTBF can only lower availability."""
+    result = run_resilience_sweep(MTBFS, n_tasks=8)
     assert len(result.rows) == 4  # 2 MTBFs x 2 schedulers
     for row in result.rows:
         assert 0.0 < row["availability"] < 1.0
@@ -26,3 +29,17 @@ def test_bench_resilience_sweep(benchmark):
     assert max(r["availability"] for r in churned) <= min(
         r["availability"] for r in calm
     )
+    return {
+        "rows": len(result.rows),
+        "min_availability": round(
+            min(r["availability"] for r in result.rows), 6
+        ),
+        "max_availability": round(
+            max(r["availability"] for r in result.rows), 6
+        ),
+        "fault_events": max(r["fault_events"] for r in result.rows),
+    }
+
+
+def test_bench_resilience_sweep(benchmark):
+    run_once(benchmark, suite)

@@ -7,21 +7,24 @@ instances at N=50 and N=200, once with the epoch-keyed
 :class:`~repro.network.routing.PathCache` and once without.  Asserts the
 two passes produce byte-identical schedules (the kernel's contract) and,
 on the N=200 campaign instance, that the cache delivers at least a 3x
-throughput speedup.  Results land in ``BENCH_scheduler.json`` at the
-repo root so perf regressions are visible in review diffs.
+throughput speedup.  Results land in ``BENCH_HISTORY.jsonl`` through the
+``repro bench`` harness (the pre-harness ``BENCH_scheduler.json``
+snapshot is frozen as the legacy baseline); ``repro bench verify``
+asserts the speedup floor against the newest record.
 
-Smoke mode for CI: ``REPRO_BENCH_SMOKE=1`` shrinks the workloads to a
-few tasks (seconds, not minutes) and ``REPRO_SKIP_TIMING_ASSERTS=1``
-drops the wall-clock assertion, leaving the identity check.
+Smoke mode (``repro bench run --smoke``, or ``REPRO_BENCH_SMOKE=1``
+under pytest) shrinks the workloads to a few tasks (seconds, not
+minutes) and drops the wall-clock assertion, leaving the identity
+check; ``REPRO_SKIP_TIMING_ASSERTS=1`` drops it for full pytest runs on
+noisy shared hardware.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
+from repro.bench import bench_suite
 from repro.core.flexible import FlexibleScheduler
 from repro.network import routing
 from repro.network.topologies import scale_free
@@ -31,19 +34,22 @@ from repro.tasks.models import get_model
 
 from benchmarks.conftest import run_once
 
-BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_scheduler.json"
-
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-SKIP_TIMING = os.environ.get("REPRO_SKIP_TIMING_ASSERTS") == "1" or SMOKE
-
-#: (n_routers, n_tasks, n_locals) per campaign; smoke shrinks the load.
-CAMPAIGNS = {
-    50: (50, 6, 5) if SMOKE else (50, 40, 8),
-    200: (200, 4, 6) if SMOKE else (200, 40, 16),
-}
 
 DEMAND_GBPS = 4.0
 SPEEDUP_FLOOR = 3.0
+
+
+def _campaigns(smoke: bool):
+    """(n_routers, n_tasks, n_locals) per campaign; smoke shrinks the load."""
+    return {
+        50: (50, 6, 5) if smoke else (50, 40, 8),
+        200: (200, 4, 6) if smoke else (200, 40, 16),
+    }
+
+
+def _skip_timing(smoke: bool) -> bool:
+    return smoke or os.environ.get("REPRO_SKIP_TIMING_ASSERTS") == "1"
 
 
 def _workload(network, n_tasks: int, n_locals: int, seed: int = 7):
@@ -108,53 +114,52 @@ def _campaign(n_routers: int, n_tasks: int, n_locals: int, use_cache: bool):
     return elapsed, signatures, stats
 
 
-def _record(name: str, payload: dict) -> None:
-    try:
-        existing = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-    except (OSError, ValueError):
-        existing = {}
-    existing[name] = payload
-    BENCH_JSON.write_text(
-        json.dumps(existing, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-
-
-def _run_campaign(benchmark, n_routers: int, assert_speedup: bool) -> None:
-    n, n_tasks, n_locals = CAMPAIGNS[n_routers]
+def _run_campaign(n_routers: int, *, smoke: bool, assert_speedup: bool):
+    """One campaign's metrics; asserts identity (always) and the floor."""
+    n, n_tasks, n_locals = _campaigns(smoke)[n_routers]
     uncached_s, uncached_sig, _ = _campaign(n, n_tasks, n_locals, False)
-    cached_s, cached_sig, stats = run_once(
-        benchmark, _campaign, n, n_tasks, n_locals, True
-    )
-    assert cached_sig == uncached_sig, (
+    cached_s, cached_sig, stats = _campaign(n, n_tasks, n_locals, True)
+    identical = cached_sig == uncached_sig
+    assert identical, (
         "cached and uncached schedulers diverged on the same workload"
     )
     speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
-    _record(
-        f"scale_free_{n}",
-        {
-            "n_routers": n,
-            "tasks": n_tasks,
-            "n_locals": n_locals,
-            "demand_gbps": DEMAND_GBPS,
-            "uncached_s": round(uncached_s, 4),
-            "cached_s": round(cached_s, 4),
-            "speedup": round(speedup, 2),
-            "cache_stats": stats,
-            "smoke": SMOKE,
-        },
-    )
-    if assert_speedup and not SKIP_TIMING:
+    if assert_speedup and not _skip_timing(smoke):
         assert speedup >= SPEEDUP_FLOOR, (
             f"cache speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor "
             f"on scale-free N={n}"
         )
+    return {
+        "n_routers": n,
+        "tasks": n_tasks,
+        "n_locals": n_locals,
+        "demand_gbps": DEMAND_GBPS,
+        "uncached_s": round(uncached_s, 4),
+        "cached_s": round(cached_s, 4),
+        "speedup": round(speedup, 2),
+        "identical": identical,
+        "cache_stats": stats,
+    }
+
+
+@bench_suite("scheduler", headline="scale_free_200.speedup")
+def suite(smoke: bool = False) -> dict:
+    """Routing-cache schedule throughput on scale-free N=50 and N=200."""
+    return {
+        "scale_free_50": _run_campaign(
+            50, smoke=smoke, assert_speedup=False
+        ),
+        "scale_free_200": _run_campaign(
+            200, smoke=smoke, assert_speedup=True
+        ),
+    }
 
 
 def test_bench_scheduler_cache_scale_free_50(benchmark):
     """Small instance: identity always, timing recorded, no floor."""
-    _run_campaign(benchmark, 50, assert_speedup=False)
+    run_once(benchmark, _run_campaign, 50, smoke=SMOKE, assert_speedup=False)
 
 
 def test_bench_scheduler_cache_scale_free_200(benchmark):
     """The acceptance campaign: byte-identical and >= 3x with the cache."""
-    _run_campaign(benchmark, 200, assert_speedup=True)
+    run_once(benchmark, _run_campaign, 200, smoke=SMOKE, assert_speedup=True)

@@ -6,19 +6,17 @@ latency, and the utility-aware strategies retain more aggregate utility
 than uniform random at the same keep-fraction.
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.ablations import run_selection_ablation
 
+from benchmarks.conftest import run_once
 
-def test_selection_strategies(benchmark):
-    result = run_once(
-        benchmark,
-        run_selection_ablation,
-        fractions=(0.25, 0.5, 1.0),
-        n_tasks=12,
-        n_locals=12,
-        seed=13,
+
+@bench_suite("selection", headline="top_utility_kept_25")
+def suite(smoke: bool = False) -> dict:
+    """Client selection: utility-aware beats random at the same keep."""
+    result = run_selection_ablation(
+        fractions=(0.25, 0.5, 1.0), n_tasks=12, n_locals=12, seed=13
     )
 
     by_key = {(row["strategy"], row["fraction"]): row for row in result.rows}
@@ -39,6 +37,16 @@ def test_selection_strategies(benchmark):
         by_key[("utility-proportional", 0.25)]["utility_kept"]
         >= by_key[("random", 0.25)]["utility_kept"]
     )
+    return {
+        "top_utility_kept_25": round(
+            by_key[("top-utility", 0.25)]["utility_kept"], 4
+        ),
+        "random_kept_25": round(by_key[("random", 0.25)]["utility_kept"], 4),
+        "bandwidth_at_25_gbps": round(
+            by_key[("top-utility", 0.25)]["bandwidth_gbps"], 4
+        ),
+    }
 
-    print()
-    print(result.to_table())
+
+def test_selection_strategies(benchmark):
+    run_once(benchmark, suite)

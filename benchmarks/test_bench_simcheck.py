@@ -7,20 +7,28 @@ within 10% at every sweep point (exactly for the fixed scheduler, whose
 paths have no cross-flow dependencies).
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.extensions import run_model_validation
 
+from benchmarks.conftest import run_once
 
-def test_analytic_vs_executed(benchmark):
-    result = run_once(
-        benchmark, run_model_validation, n_locals_values=(3, 9, 15)
-    )
+
+@bench_suite("simcheck", headline="max_gap_percent")
+def suite(smoke: bool = False) -> dict:
+    """Analytic vs executed rounds: within 10% everywhere, exact for fixed."""
+    result = run_model_validation(n_locals_values=(3, 9, 15))
 
     for row in result.rows:
         assert abs(row["gap_percent"]) < 10.0, row
         if row["scheduler"] == "fixed-spff":
             assert abs(row["gap_percent"]) < 0.01, row
+    return {
+        "rows": len(result.rows),
+        "max_gap_percent": round(
+            max(abs(row["gap_percent"]) for row in result.rows), 4
+        ),
+    }
 
-    print()
-    print(result.to_table())
+
+def test_analytic_vs_executed(benchmark):
+    run_once(benchmark, suite)

@@ -6,15 +6,16 @@ task mix on both fabrics must show lower broadcast latency on spine-leaf
 (two short hops, no metro ring detours).
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.ablations import run_spineleaf_ablation
 
+from benchmarks.conftest import run_once
 
-def test_spine_leaf_vs_metro(benchmark):
-    result = run_once(
-        benchmark, run_spineleaf_ablation, n_tasks=12, n_locals=6, seed=17
-    )
+
+@bench_suite("spineleaf", headline="broadcast_speedup")
+def suite(smoke: bool = False) -> dict:
+    """Spine-leaf vs metro: faster broadcast, round parity."""
+    result = run_spineleaf_ablation(n_tasks=12, n_locals=6, seed=17)
     by_fabric = {row["fabric"]: row for row in result.rows}
 
     metro, fabric = by_fabric["metro-mesh"], by_fabric["spine-leaf"]
@@ -24,6 +25,14 @@ def test_spine_leaf_vs_metro(benchmark):
     # Whole rounds are dominated by training time, so parity (within a
     # few percent) is the expectation there; broadcast is the fabric win.
     assert fabric["round_ms"] <= metro["round_ms"] * 1.05
+    return {
+        "metro_broadcast_ms": round(metro["broadcast_ms"], 4),
+        "spineleaf_broadcast_ms": round(fabric["broadcast_ms"], 4),
+        "broadcast_speedup": round(
+            metro["broadcast_ms"] / fabric["broadcast_ms"], 4
+        ),
+    }
 
-    print()
-    print(result.to_table())
+
+def test_spine_leaf_vs_metro(benchmark):
+    run_once(benchmark, suite)

@@ -8,6 +8,9 @@ skipped: two workers time-slicing one core cannot beat a serial run.
 The socket backend gets no speedup assertion at all: its in-process
 worker threads share the GIL, so it measures coordination overhead,
 not parallelism (real gains come from external worker processes).
+
+Smoke mode shrinks the grid to 4 runs so the identity matrix still
+covers all three backends in a couple of seconds.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from __future__ import annotations
 import os
 import time
 
+from repro.bench import bench_suite
 from repro.scenarios import SocketQueueBackend, SweepConfig, run_sweep
 
 from benchmarks.conftest import run_once
@@ -26,6 +30,48 @@ SWEEP = SweepConfig(
     grid={"n_locals": [3, 6, 9]},
     seeds=(0, 1),
 )
+
+#: 4 runs, 8 servings: enough to exercise every backend's machinery.
+SMOKE_SWEEP = SweepConfig(
+    scenarios=("metro-mesh-uniform", "nsfnet-wan"),
+    grid={"n_locals": [3]},
+    seeds=(0, 1),
+)
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+@bench_suite("sweep", headline="serial_s")
+def suite(smoke: bool = False) -> dict:
+    """Backend identity + overhead: serial vs process pool vs socket."""
+    config = SMOKE_SWEEP if smoke else SWEEP
+    serial_s, serial = _timed(run_sweep, config, workers=1)
+    pool_s, pool = _timed(run_sweep, config, workers=2)
+    socket_s, socket = _timed(
+        run_sweep,
+        config,
+        backend=SocketQueueBackend(local_workers=2, timeout=600.0),
+    )
+    identical = (
+        serial.to_json() == pool.to_json()
+        and serial.to_json() == socket.to_json()
+    )
+    assert identical, "backends diverged on the same sweep"
+    return {
+        "runs": len(config.scenarios)
+        * len(config.seeds)
+        * len(config.grid["n_locals"]),
+        "rows": len(serial.rows),
+        "serial_s": round(serial_s, 4),
+        "pool_s": round(pool_s, 4),
+        "socket_s": round(socket_s, 4),
+        "pool_speedup": round(serial_s / pool_s, 2) if pool_s > 0 else None,
+        "identical": identical,
+    }
 
 
 def test_bench_sweep_serial(benchmark):

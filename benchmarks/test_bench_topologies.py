@@ -1,35 +1,33 @@
 """Benchmark: build throughput for every registered topology family.
 
 Builds each family repeatedly at a representative size, records
-builds/second (and the instance's node/link counts) per family into
-``BENCH_topologies.json`` at the repo root, and asserts the registry's
-determinism contract along the way — two builds with the same merged
-parameters must be byte-identical.  Topology construction sits on every
-sweep run's critical path (each (scenario, params, seed) run rebuilds
-its fabric), so a generator regression shows up here before it shows up
-as a mysteriously slow sweep.
+builds/second (and the instance's node/link counts) per family, and
+asserts the registry's determinism contract along the way — two builds
+with the same merged parameters must be byte-identical.  Topology
+construction sits on every sweep run's critical path (each (scenario,
+params, seed) run rebuilds its fabric), so a generator regression shows
+up here before it shows up as a mysteriously slow sweep.  Results land
+in ``BENCH_HISTORY.jsonl`` through the ``repro bench`` harness; the
+pre-harness ``BENCH_topologies.json`` snapshot is frozen as the legacy
+baseline, and ``repro bench verify`` floors the build rates of the
+hottest families.
 
-Smoke mode for CI: ``REPRO_BENCH_SMOKE=1`` drops the repeat count to 2
-(the identity check still runs); ``REPRO_SKIP_TIMING_ASSERTS=1`` is
-accepted for symmetry but this benchmark asserts no wall-clock floors —
-absolute build rates vary too much across machines to gate on.
+Smoke mode (``repro bench run --smoke``, or ``REPRO_BENCH_SMOKE=1``
+under pytest) drops the repeat count to 2; the determinism check still
+runs.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
+from repro.bench import bench_suite
 from repro.network.topology import list_families
 
 from benchmarks.conftest import run_once
 
-BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_topologies.json"
-
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-ROUNDS = 2 if SMOKE else 20
 
 #: Representative (non-toy) build sizes per family; families not named
 #: here build at their schema defaults.
@@ -54,9 +52,12 @@ def _fingerprint(net) -> str:
     return repr((nodes, links))
 
 
-def _build_all():
-    """Build every family ROUNDS times; return per-family stats."""
+@bench_suite("topologies", headline="clos.builds_per_s")
+def suite(smoke: bool = False) -> dict:
+    """Build rate and determinism for every registered topology family."""
+    rounds = 2 if smoke else 20
     stats = {}
+    deterministic = True
     for family in list_families():
         params = BENCH_PARAMS.get(family.name, {})
         first = family.build(params)
@@ -64,23 +65,22 @@ def _build_all():
             f"family {family.name} is not deterministic"
         )
         start = time.perf_counter()
-        for _ in range(ROUNDS):
+        for _ in range(rounds):
             family.build(params)
         elapsed = time.perf_counter() - start
         stats[family.name] = {
             "nodes": first.node_count,
             "links": first.link_count,
-            "rounds": ROUNDS,
-            "build_ms": round(1_000.0 * elapsed / ROUNDS, 3),
-            "builds_per_s": round(ROUNDS / elapsed, 1) if elapsed > 0 else None,
-            "smoke": SMOKE,
+            "rounds": rounds,
+            "build_ms": round(1_000.0 * elapsed / rounds, 3),
+            "builds_per_s": round(rounds / elapsed, 1) if elapsed > 0 else None,
         }
+    assert len(stats) >= 11
+    stats["families"] = len(stats)
+    stats["deterministic"] = deterministic
     return stats
 
 
 def test_bench_topology_build_throughput(benchmark):
-    stats = run_once(benchmark, _build_all)
-    assert len(stats) >= 11
-    BENCH_JSON.write_text(
-        json.dumps(stats, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    stats = run_once(benchmark, suite, smoke=SMOKE)
+    assert stats["families"] >= 11

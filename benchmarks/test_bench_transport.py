@@ -6,17 +6,18 @@ must show RDMA dominating at datacenter distances (CPU and transfer time)
 and its advantage eroding over long-haul fibre.
 """
 
-from benchmarks.conftest import run_once
-
+from repro.bench import bench_suite
 from repro.experiments.ablations import run_transport_ablation
+
+from benchmarks.conftest import run_once
 
 DISTANCES = (1.0, 100.0, 2000.0)
 
 
-def test_tcp_vs_rdma_distance_sweep(benchmark):
-    result = run_once(
-        benchmark, run_transport_ablation, distances_km=DISTANCES
-    )
+@bench_suite("transport", headline="rdma_dc_transfer_ms")
+def suite(smoke: bool = False) -> dict:
+    """TCP vs RDMA: datacenter dominance, long-haul crossover."""
+    result = run_transport_ablation(distances_km=DISTANCES)
 
     def row(protocol, km):
         for record in result.rows:
@@ -34,6 +35,17 @@ def test_tcp_vs_rdma_distance_sweep(benchmark):
     # Crossover exists: at 2000 km TCP's transfer time beats RDMA's
     # buffer/BDP-crippled one (the paper's open-challenge pain point).
     assert row("tcp", 2000.0)["transfer_ms"] < row("rdma", 2000.0)["transfer_ms"]
+    return {
+        "rdma_dc_transfer_ms": round(row("rdma", 1.0)["transfer_ms"], 4),
+        "tcp_dc_transfer_ms": round(row("tcp", 1.0)["transfer_ms"], 4),
+        "rdma_longhaul_gbps": round(
+            row("rdma", 2000.0)["effective_gbps"], 4
+        ),
+        "tcp_longhaul_transfer_ms": round(
+            row("tcp", 2000.0)["transfer_ms"], 4
+        ),
+    }
 
-    print()
-    print(result.to_table())
+
+def test_tcp_vs_rdma_distance_sweep(benchmark):
+    run_once(benchmark, suite)

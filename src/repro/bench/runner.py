@@ -1,0 +1,88 @@
+"""Suite execution: ``repro bench run``.
+
+Discovers every registered suite, runs each once (smoke or full),
+prints a one-line result per suite, and appends exactly one
+machine-tagged record to the history file.  A suite that raises —
+including a failed shape assertion — marks the whole run failed: no
+record is appended, because a partial record would read as "these
+suites were fine" when they were never measured.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .history import append_record, default_history_path, make_record
+from .registry import discover_suites, metric_at, suites_matching
+
+
+def _silent(_message: str) -> None:
+    pass
+
+
+def run_suites(
+    names: Sequence[str] = (),
+    *,
+    smoke: bool = False,
+    bench_dir: Optional[str] = None,
+    history_path: Optional[str] = None,
+    append: bool = True,
+    echo: Callable[[str], None] = _silent,
+) -> Dict[str, Any]:
+    """Run the named suites (all when empty) and append one record.
+
+    Returns the appended record.  Raises :class:`ConfigurationError`
+    listing every failed suite if any raised; nothing is appended then.
+    """
+    discover_suites(bench_dir)
+    suites = suites_matching(tuple(names))
+    mode = "smoke" if smoke else "full"
+    results: Dict[str, Dict[str, Any]] = {}
+    failures: List[Tuple[str, BaseException]] = []
+    for suite in suites:
+        echo(f"[bench] {suite.name} ({mode}) ...")
+        start = time.perf_counter()
+        try:
+            metrics = suite.run(smoke=smoke)
+        except Exception as exc:  # noqa: BLE001 - reported, run fails
+            echo(f"[bench] {suite.name} FAILED: {exc!r}")
+            echo(traceback.format_exc().rstrip())
+            failures.append((suite.name, exc))
+            continue
+        elapsed = round(time.perf_counter() - start, 4)
+        if not isinstance(metrics, dict):
+            failures.append(
+                (
+                    suite.name,
+                    TypeError(
+                        f"suite returned {type(metrics).__name__}, "
+                        "expected a metrics dict"
+                    ),
+                )
+            )
+            continue
+        metrics.setdefault("elapsed_s", elapsed)
+        headline = ""
+        if suite.headline:
+            value = metric_at(metrics, suite.headline)
+            if value is not None:
+                headline = f"  {suite.headline}={value:g}" if isinstance(
+                    value, (int, float)
+                ) else f"  {suite.headline}={value}"
+        echo(f"[bench] {suite.name} ok in {elapsed:.2f}s{headline}")
+        results[suite.name] = metrics
+    if failures:
+        summary = "; ".join(f"{name}: {exc}" for name, exc in failures)
+        raise ConfigurationError(
+            f"{len(failures)}/{len(suites)} bench suites failed "
+            f"(no record appended): {summary}"
+        )
+    record = make_record(results, smoke=smoke)
+    if append:
+        path = history_path or default_history_path()
+        append_record(path, record)
+        echo(f"[bench] appended 1 record ({len(results)} suites) to {path}")
+    return record

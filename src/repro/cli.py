@@ -32,6 +32,18 @@ the generators scenarios build their fabrics from::
     repro topologies build multi-metro-wan --set n_regions=2 --seed 3
     repro topologies build clos --set oversubscription=4 --save clos.json
 
+The ``bench`` subcommand is the unified benchmark harness: it discovers
+every registered ``benchmarks/test_bench_*`` suite, runs them with one
+command, appends machine-tagged records to ``BENCH_HISTORY.jsonl``,
+gates regressions against tracked floors, and renders the trajectory::
+
+    repro bench list
+    repro bench run
+    repro bench run --smoke --suite scheduler --suite topologies
+    repro bench verify
+    repro bench report
+    repro bench report --suite scheduler
+
 ``scenarios sweep`` expands the cross product of every ``--set``
 dimension and the seed list over the named scenarios and runs it on the
 chosen ``--backend`` — ``serial`` in-process, ``pool`` over
@@ -359,6 +371,211 @@ def build_topologies_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "run the registered benchmark suites, track their trajectory "
+            "in BENCH_HISTORY.jsonl, and gate regressions against floors"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="print every discovered suite")
+    list_cmd.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        help="benchmarks directory (default: the checkout's benchmarks/)",
+    )
+
+    run = sub.add_parser(
+        "run",
+        help="run suites and append one machine-tagged history record",
+        description=(
+            "Runs every discovered suite (or just --suite NAME, "
+            "repeatable), each of which asserts its qualitative shape and "
+            "reports metrics, then appends exactly one machine-tagged "
+            "record (host, python, CPU count, git SHA, timestamp, "
+            "per-suite metrics) to the history file.  --smoke shrinks the "
+            "heavy workloads to seconds for CI; smoke records are tagged "
+            "so 'repro bench verify' skips their timing floors."
+        ),
+    )
+    run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink heavy workloads (CI mode); record is tagged smoke",
+    )
+    run.add_argument(
+        "--suite",
+        dest="suites",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="run only this suite; repeatable (default: every suite)",
+    )
+    run.add_argument(
+        "--history",
+        metavar="PATH",
+        help="history file to append to (default: BENCH_HISTORY.jsonl "
+        "at the repo root)",
+    )
+    run.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        help="benchmarks directory (default: the checkout's benchmarks/)",
+    )
+    run.add_argument(
+        "--no-append",
+        action="store_true",
+        help="run and print but do not touch the history file",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="assert the tracked floors against the newest history record",
+        description=(
+            "Checks every floor (identity/shape floors always; timing "
+            "floors on full records only, scaled by --machine-class) "
+            "against the newest record and exits non-zero on any "
+            "violation."
+        ),
+    )
+    verify.add_argument(
+        "--history",
+        metavar="PATH",
+        help="history file to verify (default: BENCH_HISTORY.jsonl)",
+    )
+    verify.add_argument(
+        "--machine-class",
+        metavar="CLASS",
+        help=(
+            "hardware class the timing floors are scaled for: reference, "
+            "workstation, laptop, or ci (default: "
+            "$REPRO_BENCH_MACHINE_CLASS or 'reference')"
+        ),
+    )
+    verify.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        help="benchmarks directory (default: the checkout's benchmarks/)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render the trend table across the recorded trajectory",
+        description=(
+            "Prints each suite's headline metric across every record — "
+            "the migrated legacy BENCH_*.json snapshots first, then the "
+            "JSONL history.  --suite NAME expands one suite into all of "
+            "its metrics."
+        ),
+    )
+    report.add_argument(
+        "--history",
+        metavar="PATH",
+        help="history file to read (default: BENCH_HISTORY.jsonl)",
+    )
+    report.add_argument("--suite", help="expand this one suite's metrics")
+    report.add_argument(
+        "--no-legacy",
+        action="store_true",
+        help="hide the migrated pre-harness BENCH_*.json snapshot record",
+    )
+    report.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        help="benchmarks directory (default: the checkout's benchmarks/)",
+    )
+    return parser
+
+
+def _bench_main(argv: List[str]) -> int:
+    """The ``repro bench`` subcommand: list / run / verify / report."""
+    from . import bench
+    from .errors import ConfigurationError
+
+    args = build_bench_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            suites = bench.discover_suites(args.bench_dir)
+            width = max((len(suite.name) for suite in suites), default=0)
+            for suite in suites:
+                headline = suite.headline or "elapsed_s"
+                print(
+                    f"{suite.name:<{width}}  {suite.description}  "
+                    f"[headline: {headline}]"
+                )
+            return 0
+        if args.command == "run":
+            record = bench.run_suites(
+                args.suites,
+                smoke=args.smoke,
+                bench_dir=args.bench_dir,
+                history_path=args.history,
+                append=not args.no_append,
+                echo=lambda message: print(message, file=sys.stderr),
+            )
+            violations = bench.verify_record(record)
+            if violations:
+                print(
+                    f"warning: {len(violations)} floor violation(s) in this "
+                    "record — 'repro bench verify' will fail:",
+                    file=sys.stderr,
+                )
+                for violation in violations:
+                    print(f"  {violation.reason}", file=sys.stderr)
+            return 0
+        if args.command == "verify":
+            history = bench.read_history(
+                args.history or bench.history.default_history_path()
+            )
+            if not history:
+                print(
+                    "error: no history records to verify — run "
+                    "'repro bench run' first",
+                    file=sys.stderr,
+                )
+                return 2
+            record = history[-1]
+            violations = bench.verify_record(
+                record, machine_class=args.machine_class
+            )
+            label = bench.report.record_label(record)
+            checked = [
+                floor
+                for floor in bench.FLOORS
+                if floor.suite in record.get("suites", {})
+                and not (floor.timing and record.get("smoke"))
+            ]
+            if violations:
+                print(
+                    f"bench verify FAILED on record {label}: "
+                    f"{len(violations)} of {len(checked)} floors violated"
+                )
+                for violation in violations:
+                    print(f"  FAIL {violation.reason}")
+                return 1
+            print(
+                f"bench verify passed on record {label}: "
+                f"{len(checked)} floors hold"
+            )
+            return 0
+        # report
+        try:
+            bench.discover_suites(args.bench_dir)  # headline metadata
+        except ConfigurationError:
+            pass  # report still renders with elapsed_s fallbacks
+        records = bench.load_trajectory(
+            args.history, include_legacy=not args.no_legacy
+        )
+        print(bench.render_report(records, suite=args.suite))
+        return 0
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _parse_scalar(text: str):
     """CLI grid values: int if possible, else float, else the string."""
     for cast in (int, float):
@@ -659,6 +876,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _scenarios_main(argv[1:])
     if argv and argv[0] == "topologies":
         return _topologies_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -3,7 +3,7 @@
 The engine streams every finished run — cache hits first, then fresh
 runs in run-key order — through each attached :class:`ResultSink`, so a
 million-run sweep never buffers the whole result before the first byte
-hits storage and an interrupted sweep keeps what it finished.  Three
+hits storage and an interrupted sweep keeps what it finished.  Four
 implementations ship:
 
 * :class:`JsonlSink` — one JSON line per row, appended run-by-run (the
@@ -103,9 +103,13 @@ class JsonlSink(ResultSink):
 class JsonSink(ResultSink):
     """Buffers every row and writes one complete JSON document at close.
 
-    A failed sweep writes nothing: a half-full document would be
-    indistinguishable from a complete one, so on abort the buffered
-    rows are dropped and no file appears at the path.
+    A failed sweep writes nothing — and leaves nothing: a half-full
+    document would be indistinguishable from a complete one, so on
+    abort the buffered rows are dropped *and* any pre-existing file at
+    the path (a complete document from an earlier sweep) is removed.
+    Leaving it would let last week's output masquerade as this sweep's
+    result; after an abort, no file at the path is the only honest
+    state.
     """
 
     name = "json"
@@ -134,6 +138,10 @@ class JsonSink(ResultSink):
 
     def abort(self) -> None:
         self._rows = []
+        try:
+            os.remove(self._path)
+        except OSError:
+            pass
 
 
 class CsvSink(ResultSink):
@@ -187,21 +195,39 @@ class CsvSink(ResultSink):
         """Rewrite the file under the widened header, keeping old rows.
 
         Streams old rows one at a time through a temp file, so even the
-        rewrite never holds more than one row in memory.
+        rewrite never holds more than one row in memory.  A rewrite that
+        raises mid-stream must not wound the sink: the temp file is
+        removed, the header stays un-widened (the on-disk file was never
+        replaced), and the handle is reopened for appending before the
+        error propagates — so the caller sees the failure but the sink
+        remains usable and ``close()`` still releases a live handle.
         """
         self._handle.close()
-        self._fieldnames = self._fieldnames + fresh
+        narrow = self._fieldnames
+        widened = narrow + fresh
         temp = self._path + ".widen.tmp"
-        with open(self._path, encoding="utf-8", newline="") as source, open(
-            temp, "w", encoding="utf-8", newline=""
-        ) as target:
-            writer = csv.DictWriter(
-                target, fieldnames=self._fieldnames, restval=""
-            )
-            writer.writeheader()
-            for row in csv.DictReader(source):
-                writer.writerow(row)
-        os.replace(temp, self._path)
+        try:
+            with open(
+                self._path, encoding="utf-8", newline=""
+            ) as source, open(
+                temp, "w", encoding="utf-8", newline=""
+            ) as target:
+                writer = csv.DictWriter(
+                    target, fieldnames=widened, restval=""
+                )
+                writer.writeheader()
+                for row in csv.DictReader(source):
+                    writer.writerow(row)
+            os.replace(temp, self._path)
+        except BaseException:
+            self._fieldnames = narrow
+            try:
+                os.remove(temp)
+            except OSError:
+                pass
+            self._handle = open(self._path, "a", encoding="utf-8", newline="")
+            raise
+        self._fieldnames = widened
         self._handle = open(self._path, "a", encoding="utf-8", newline="")
 
     def write_run(self, key: RunKey, rows: List[Row]) -> None:
@@ -251,8 +277,11 @@ class SqliteSink(ResultSink):
     token and a re-emitted run *replaces* its previous copy —
     duplicate-free by construction.  ``aggregates`` holds running means
     maintained *incrementally* as rows stream in
-    (``mean += (x - mean) / n``), so at close it always equals a
-    post-hoc reduction over ``row_metrics``.
+    (``mean += (x - mean) / n``); a replaced run's old values are
+    *retracted* from the means first, so at close the table always
+    equals a post-hoc reduction over ``row_metrics`` — even when a run
+    is delivered twice (a socket worker's result landing after its
+    disconnect re-queue).
 
     The connection allows cross-thread use because distributed backends
     deliver results from handler threads; the engine's ordered recorder
@@ -315,6 +344,35 @@ class SqliteSink(ResultSink):
                 self._conn.execute(f"DELETE FROM {table}")
         self._running = {}
 
+    def _retract(self, key: RunKey, token: str, touched: set) -> None:
+        """Remove a previously delivered run's contribution to the means.
+
+        A re-delivered run (e.g. a socket worker's result arriving after
+        its disconnect re-queue) *replaces* its ``rows``/``row_metrics``
+        copies, so its old metric values must leave the running means too
+        — otherwise ``aggregates`` double-counts the run and stops
+        matching a post-hoc reduction of ``row_metrics``.  Reverses the
+        running-mean update (``mean -= (x - mean') / n`` inverted): with
+        ``n`` samples at mean ``m``, removing ``x`` leaves
+        ``(n*m - x) / (n - 1)``.
+        """
+        previous = self._conn.execute(
+            "SELECT rows.scheduler, row_metrics.metric, row_metrics.value "
+            "FROM row_metrics JOIN rows "
+            "ON rows.run_token = row_metrics.run_token "
+            "AND rows.row_index = row_metrics.row_index "
+            "WHERE row_metrics.run_token = ?",
+            (token,),
+        ).fetchall()
+        for scheduler, metric, value in previous:
+            group = (key.scenario, str(scheduler), metric)
+            n, mean = self._running[group]
+            if n <= 1:
+                del self._running[group]
+            else:
+                self._running[group] = (n - 1, (n * mean - value) / (n - 1))
+            touched.add(group)
+
     def write_run(self, key: RunKey, rows: List[Row]) -> None:
         token = key.token()
         with self._conn:
@@ -331,11 +389,12 @@ class SqliteSink(ResultSink):
                     key.canonical(),
                 ),
             )
+            touched: set = set()
+            self._retract(key, token, touched)
             self._conn.execute("DELETE FROM rows WHERE run_token = ?", (token,))
             self._conn.execute(
                 "DELETE FROM row_metrics WHERE run_token = ?", (token,)
             )
-            touched: set = set()
             for index, row in enumerate(rows):
                 scheduler = row.get("scheduler")
                 self._conn.execute(
@@ -369,7 +428,17 @@ class SqliteSink(ResultSink):
                     self._running[group] = (n, mean)
                     touched.add(group)
             for scenario, scheduler, metric in touched:
-                n, mean = self._running[(scenario, scheduler, metric)]
+                group = self._running.get((scenario, scheduler, metric))
+                if group is None:
+                    # Retraction emptied the group (a re-delivery whose
+                    # new rows no longer report the metric).
+                    self._conn.execute(
+                        "DELETE FROM aggregates WHERE scenario = ? "
+                        "AND scheduler = ? AND metric = ?",
+                        (scenario, scheduler, metric),
+                    )
+                    continue
+                n, mean = group
                 self._conn.execute(
                     "INSERT OR REPLACE INTO aggregates "
                     "(scenario, scheduler, metric, n, mean) "

@@ -1,0 +1,279 @@
+"""Sink lifecycle matrix: open → write → abort/close across all four sinks.
+
+Pins the correctness semantics the sweep engine relies on:
+
+* **Happy path** — every sink's output for a fixed row stream is pinned
+  against golden rows, so the bugfixes below stay byte-identical where
+  they must.
+* **Duplicate delivery** — a socket worker's result can arrive *after*
+  its disconnect re-queue already handed the run to another worker, so
+  every sink sees ``write_run`` twice for the same :class:`RunKey`.
+  The SQLite sink must keep ``aggregates`` equal to a post-hoc
+  reduction of ``row_metrics`` (the regression this file exists for).
+* **Abort** — streaming sinks keep honest partial output; the JSON sink
+  must leave *nothing*, including a stale document from an earlier
+  sweep at the same path.
+* **Widen failure injection** — a CSV widening rewrite that dies
+  mid-stream must not leak its temp file or leave the sink wounded.
+"""
+
+import csv
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.scenarios import CsvSink, JsonSink, JsonlSink, SqliteSink, read_aggregates
+from repro.scenarios.sweep.engine import RunKey
+
+KEY_A = RunKey.make("scenario-a", {"x": 1}, 0)
+KEY_B = RunKey.make("scenario-a", {"x": 2}, 0)
+
+ROWS_A = [
+    {"scenario": "scenario-a", "seed": 0, "scheduler": "fixed", "m": 1.0},
+    {"scenario": "scenario-a", "seed": 0, "scheduler": "flex", "m": 3.0},
+]
+ROWS_B = [
+    {"scenario": "scenario-a", "seed": 0, "scheduler": "fixed", "m": 5.0},
+    {"scenario": "scenario-a", "seed": 0, "scheduler": "flex", "m": 7.0},
+]
+
+
+def _make_all(tmp_path):
+    return {
+        "jsonl": JsonlSink(str(tmp_path / "out.jsonl")),
+        "json": JsonSink(str(tmp_path / "out.json")),
+        "csv": CsvSink(str(tmp_path / "out.csv")),
+        "sqlite": SqliteSink(str(tmp_path / "out.db")),
+    }
+
+
+def _post_hoc_aggregates(db_path):
+    """Reduce ``row_metrics`` from scratch — the invariant's other side."""
+    conn = sqlite3.connect(db_path)
+    try:
+        cursor = conn.execute(
+            "SELECT rows.scenario, rows.scheduler, row_metrics.metric, "
+            "COUNT(*), AVG(row_metrics.value) "
+            "FROM row_metrics JOIN rows "
+            "ON rows.run_token = row_metrics.run_token "
+            "AND rows.row_index = row_metrics.row_index "
+            "GROUP BY rows.scenario, rows.scheduler, row_metrics.metric"
+        )
+        return {
+            (scenario, str(scheduler), metric): (n, mean)
+            for scenario, scheduler, metric, n, mean in cursor
+        }
+    finally:
+        conn.close()
+
+
+class TestHappyPathGoldenRows:
+    """open → write → close leaves exactly the pinned bytes/rows."""
+
+    def test_jsonl_golden(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "out.jsonl"))
+        sink.open()
+        sink.write_run(KEY_A, ROWS_A)
+        sink.close()
+        assert (tmp_path / "out.jsonl").read_text() == (
+            '{"m": 1.0, "scenario": "scenario-a", "scheduler": "fixed", '
+            '"seed": 0}\n'
+            '{"m": 3.0, "scenario": "scenario-a", "scheduler": "flex", '
+            '"seed": 0}\n'
+        )
+
+    def test_json_golden(self, tmp_path):
+        sink = JsonSink(str(tmp_path / "out.json"))
+        sink.open()
+        sink.write_run(KEY_A, ROWS_A)
+        sink.close()
+        assert json.loads((tmp_path / "out.json").read_text()) == {
+            "rows": ROWS_A
+        }
+
+    def test_csv_golden(self, tmp_path):
+        sink = CsvSink(str(tmp_path / "out.csv"))
+        sink.open()
+        sink.write_run(KEY_A, ROWS_A)
+        sink.close()
+        assert (tmp_path / "out.csv").read_text() == (
+            "m,scenario,scheduler,seed\n"
+            "1.0,scenario-a,fixed,0\n"
+            "3.0,scenario-a,flex,0\n"
+        )
+
+    def test_sqlite_golden_aggregates(self, tmp_path):
+        path = str(tmp_path / "out.db")
+        sink = SqliteSink(path)
+        sink.open()
+        sink.write_run(KEY_A, ROWS_A)
+        sink.close()
+        assert read_aggregates(path) == {
+            ("scenario-a", "fixed", "m"): (1, 1.0),
+            ("scenario-a", "fixed", "seed"): (1, 0.0),
+            ("scenario-a", "flex", "m"): (1, 3.0),
+            ("scenario-a", "flex", "seed"): (1, 0.0),
+        }
+
+
+class TestDuplicateDelivery:
+    """The same RunKey delivered twice must not double-count anywhere."""
+
+    def test_sqlite_aggregates_match_post_hoc_reduction(self, tmp_path):
+        """The ISSUE 6 regression: re-delivery must retract old means."""
+        path = str(tmp_path / "dup.db")
+        sink = SqliteSink(path)
+        sink.open()
+        sink.write_run(KEY_A, ROWS_A)
+        sink.write_run(KEY_B, ROWS_B)
+        sink.write_run(KEY_A, ROWS_A)  # re-delivery after disconnect re-queue
+        sink.close()
+        incremental = read_aggregates(path)
+        post_hoc = _post_hoc_aggregates(path)
+        assert set(incremental) == set(post_hoc)
+        for group, (n, mean) in post_hoc.items():
+            got_n, got_mean = incremental[group]
+            assert got_n == n, group
+            assert got_mean == pytest.approx(mean, rel=1e-12), group
+        # And the means are the two-run truth, not a three-run smear.
+        assert incremental[("scenario-a", "fixed", "m")] == (
+            2,
+            pytest.approx(3.0),
+        )
+        assert incremental[("scenario-a", "flex", "m")] == (
+            2,
+            pytest.approx(5.0),
+        )
+
+    def test_sqlite_redelivery_with_changed_rows(self, tmp_path):
+        """Even rows that (incorrectly) changed between deliveries keep
+        the aggregates == reduction(row_metrics) invariant: the replaced
+        copy's contribution leaves the means entirely."""
+        path = str(tmp_path / "chg.db")
+        sink = SqliteSink(path)
+        sink.open()
+        sink.write_run(KEY_A, ROWS_A)
+        replacement = [
+            {"scenario": "scenario-a", "seed": 0, "scheduler": "fixed", "m": 9.0}
+        ]
+        sink.write_run(KEY_A, replacement)
+        sink.close()
+        incremental = read_aggregates(path)
+        assert incremental == _post_hoc_aggregates(path)
+        assert incremental[("scenario-a", "fixed", "m")] == (1, 9.0)
+        # The flex rows vanished with the replacement — so must their
+        # aggregate groups.
+        assert ("scenario-a", "flex", "m") not in incremental
+
+    def test_streaming_sinks_replace_nothing_but_do_not_crash(self, tmp_path):
+        """JSONL/CSV/JSON sinks append duplicates verbatim (the engine's
+        recorder is what de-duplicates for them); re-delivery must at
+        least keep them alive and well-formed."""
+        for name, sink in _make_all(tmp_path).items():
+            sink.open()
+            sink.write_run(KEY_A, ROWS_A)
+            sink.write_run(KEY_A, ROWS_A)
+            sink.close()
+
+
+class TestAbortSemantics:
+    def test_json_abort_leaves_no_file(self, tmp_path):
+        sink = JsonSink(str(tmp_path / "out.json"))
+        sink.open()
+        sink.write_run(KEY_A, ROWS_A)
+        sink.abort()
+        assert not (tmp_path / "out.json").exists()
+
+    def test_json_abort_removes_stale_earlier_document(self, tmp_path):
+        """The ISSUE 6 fix: a complete document from an *earlier* sweep
+        must not survive an abort and masquerade as this sweep's output."""
+        path = tmp_path / "out.json"
+        earlier = JsonSink(str(path))
+        earlier.open()
+        earlier.write_run(KEY_A, ROWS_A)
+        earlier.close()
+        assert path.exists()
+
+        failing = JsonSink(str(path))
+        failing.open()
+        failing.write_run(KEY_B, ROWS_B)
+        failing.abort()
+        assert not path.exists()
+
+    def test_streaming_sinks_keep_partial_output_on_abort(self, tmp_path):
+        jsonl = JsonlSink(str(tmp_path / "out.jsonl"))
+        csv_sink = CsvSink(str(tmp_path / "out.csv"))
+        for sink in (jsonl, csv_sink):
+            sink.open()
+            sink.write_run(KEY_A, ROWS_A)
+            sink.abort()
+        assert len((tmp_path / "out.jsonl").read_text().splitlines()) == 2
+        assert len((tmp_path / "out.csv").read_text().splitlines()) == 3
+
+    def test_sqlite_abort_keeps_consistent_store(self, tmp_path):
+        path = str(tmp_path / "out.db")
+        sink = SqliteSink(path)
+        sink.open()
+        sink.write_run(KEY_A, ROWS_A)
+        sink.abort()
+        assert read_aggregates(path) == _post_hoc_aggregates(path)
+
+
+class TestWidenFailureInjection:
+    def _widening_sink(self, tmp_path):
+        sink = CsvSink(str(tmp_path / "w.csv"))
+        sink.open()
+        sink.write_run(KEY_A, [{"a": 1}])
+        return sink
+
+    def test_widen_failure_removes_temp_and_restores_handle(
+        self, tmp_path, monkeypatch
+    ):
+        sink = self._widening_sink(tmp_path)
+        before = (tmp_path / "w.csv").read_text()
+
+        def explode(source, target):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError, match="disk full"):
+            sink.write_run(KEY_B, [{"a": 2, "b": 3}])
+        monkeypatch.undo()
+
+        # No temp leak, original file untouched, header un-widened.
+        assert not (tmp_path / "w.csv.widen.tmp").exists()
+        assert (tmp_path / "w.csv").read_text() == before
+
+        # The sink stays usable: the next compatible run appends fine,
+        # and a later widening succeeds from the restored state.
+        sink.write_run(KEY_A, [{"a": 4}])
+        sink.write_run(KEY_B, [{"a": 5, "b": 6}])
+        sink.close()
+        with open(tmp_path / "w.csv", newline="") as handle:
+            parsed = list(csv.DictReader(handle))
+        assert parsed == [
+            {"a": "1", "b": ""},
+            {"a": "4", "b": ""},
+            {"a": "5", "b": "6"},
+        ]
+
+    def test_widen_failure_mid_rewrite_then_close(self, tmp_path, monkeypatch):
+        """A failure *inside* the row stream (not at replace time) also
+        leaves a closeable sink and no temp file."""
+        sink = self._widening_sink(tmp_path)
+
+        real_writerow = csv.DictWriter.writerow
+
+        def explode(self, row):
+            raise ValueError("corrupt row")
+
+        monkeypatch.setattr(csv.DictWriter, "writerow", explode)
+        with pytest.raises(ValueError, match="corrupt row"):
+            sink.write_run(KEY_B, [{"a": 2, "b": 3}])
+        monkeypatch.setattr(csv.DictWriter, "writerow", real_writerow)
+
+        assert not (tmp_path / "w.csv.widen.tmp").exists()
+        sink.close()  # must not raise on a restored handle
+        assert (tmp_path / "w.csv").read_text().splitlines()[0] == "a"
