@@ -1,4 +1,4 @@
-.PHONY: test bench bench-smoke bench-verify smoke sweep-smoke topo-smoke properties all
+.PHONY: test bench bench-smoke bench-verify smoke sweep-smoke topo-smoke obs-smoke properties all
 
 # Tier-1: the full test suite (pyproject.toml supplies pythonpath/testpaths).
 test:
@@ -43,6 +43,22 @@ sweep-smoke:
 	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
 		--serving campaign --backend socket --local-workers 2 --timeout 120
 	rm -f .sweep-smoke.db
+
+# Telemetry smoke: the same tiny sweep with telemetry off and on (with
+# tracing); the result-sink JSONL files must be byte-identical — the
+# out-of-band guarantee, checked with cmp — and the trace must render
+# through `repro obs report` / `repro obs tail`.
+obs-smoke:
+	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
+		--set demand_gbps=5,10 --jsonl .obs-smoke-off.jsonl
+	PYTHONPATH=src python -m repro.cli --log-level debug scenarios sweep \
+		toy-triangle --set demand_gbps=5,10 \
+		--jsonl .obs-smoke-on.jsonl --trace .obs-smoke-trace.jsonl
+	cmp .obs-smoke-off.jsonl .obs-smoke-on.jsonl
+	PYTHONPATH=src python -m repro.cli obs report .obs-smoke-trace.jsonl \
+		--by scheduler
+	PYTHONPATH=src python -m repro.cli obs tail .obs-smoke-trace.jsonl -n 5
+	rm -f .obs-smoke-off.jsonl .obs-smoke-on.jsonl .obs-smoke-trace.jsonl*
 
 # One tiny real sweep per new topology family (Waxman, oversubscribed
 # Clos, both Rocketfuel ISP maps, the multi-region composite) plus the

@@ -1,0 +1,120 @@
+"""Benchmark: telemetry neutrality and telemetry-off overhead.
+
+Two claims keep ``repro.obs`` honest, and this suite prices both:
+
+* **Out-of-band** — the same sweep produces byte-identical rows with
+  telemetry on and off (``identical``, a shape floor).
+* **Near-free when off** — every instrumentation site costs one
+  disabled-guard call (a module-attribute check).  The guard is
+  microbenchmarked directly, the number of sites a sweep actually hits
+  is read from ``Telemetry.touches`` on an instrumented run, and the
+  product bounds what the *disabled* run paid for being instrumented::
+
+      off_overhead_pct = guard_ns x touches / off_wall_time x 100
+
+  The bound is analytic because the alternative — diffing wall clocks
+  of two runs — measures scheduler noise, not the guard: the guard
+  costs nanoseconds against a multi-second sweep.
+
+``off_overhead_pct`` carries a 2% timing floor in ``repro bench
+verify``; ``on_overhead_pct`` (wall-clock on-vs-off delta) is recorded
+for the trajectory but not floored — it *is* scheduler noise at this
+scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.bench import bench_suite
+from repro.scenarios import SweepConfig, run_sweep
+
+from benchmarks.conftest import run_once
+
+#: Serial-only: overhead is a per-process property, and one process
+#: keeps the guard-count arithmetic exact (workers record nothing).
+SWEEP = SweepConfig(
+    scenarios=("metro-mesh-uniform", "nsfnet-wan"),
+    grid={"n_locals": [3, 6, 9]},
+    seeds=(0, 1),
+)
+
+SMOKE_SWEEP = SweepConfig(
+    scenarios=("metro-mesh-uniform",),
+    grid={"n_locals": [3]},
+    seeds=(0, 1),
+)
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def _guard_ns(iterations: int) -> float:
+    """Nanoseconds per disabled instrumentation call (the pricier of
+    the counter guard and the null-span context manager)."""
+    with obs.disabled():
+        start = time.perf_counter()
+        for _ in range(iterations):
+            obs.inc("bench.guard")
+        inc_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("bench.guard"):
+                pass
+        span_s = time.perf_counter() - start
+    return max(inc_s, span_s) / iterations * 1e9
+
+
+@bench_suite("obs", headline="off_overhead_pct")
+def suite(smoke: bool = False) -> dict:
+    """Telemetry on/off identity + the telemetry-off overhead bound."""
+    config = SMOKE_SWEEP if smoke else SWEEP
+    iterations = 20_000 if smoke else 200_000
+    with obs.disabled():
+        off_s, off = _timed(run_sweep, config, workers=1)
+    with obs.enabled() as registry:
+        on_s, on = _timed(run_sweep, config, workers=1)
+    touches = registry.summary()["touches"]
+    identical = off.to_json() == on.to_json()
+    assert identical, "telemetry changed the result rows"
+    guard_ns = _guard_ns(iterations)
+    return {
+        "runs": len(off.rows) // 2,
+        "rows": len(off.rows),
+        "off_s": round(off_s, 4),
+        "on_s": round(on_s, 4),
+        "touches": touches,
+        "guard_ns": round(guard_ns, 2),
+        "off_overhead_pct": round(
+            guard_ns * 1e-9 * touches / off_s * 100.0, 6
+        ),
+        "on_overhead_pct": round(max(0.0, (on_s - off_s) / off_s * 100.0), 2),
+        "identical": identical,
+    }
+
+
+def test_bench_obs_off(benchmark):
+    with obs.disabled():
+        result = run_once(benchmark, run_sweep, SWEEP, workers=1)
+    assert len(result.rows) == 24
+
+
+def test_bench_obs_on(benchmark):
+    baseline = run_sweep(SWEEP, workers=1)
+    with obs.enabled() as registry:
+        result = run_once(benchmark, run_sweep, SWEEP, workers=1)
+    assert result.to_json() == baseline.to_json()
+    summary = registry.summary()
+    assert summary["touches"] > 0
+    assert summary["counters"]["sweep.runs_executed"] == 12
+
+
+def test_bench_obs_suite_smoke():
+    metrics = suite(smoke=True)
+    assert metrics["identical"] is True
+    assert metrics["touches"] > 0
+    assert metrics["off_overhead_pct"] < 2.0

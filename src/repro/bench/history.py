@@ -93,13 +93,25 @@ def machine_tag() -> Dict[str, Any]:
 
 
 def make_record(
-    suites: Dict[str, Dict[str, Any]], *, smoke: bool
+    suites: Dict[str, Dict[str, Any]],
+    *,
+    smoke: bool,
+    telemetry: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """A complete history record for one run's per-suite metrics."""
+    """A complete history record for one run's per-suite metrics.
+
+    Args:
+        suites: per-suite metrics dicts, keyed by suite name.
+        smoke: whether this was a smoke (shrunk-grid) run.
+        telemetry: optional :meth:`repro.obs.Telemetry.summary` roll-up
+            of the run itself — where the runner's wall time went.
+    """
     record: Dict[str, Any] = {"schema": RECORD_SCHEMA}
     record.update(machine_tag())
     record["smoke"] = bool(smoke)
     record["suites"] = suites
+    if telemetry is not None:
+        record["telemetry"] = telemetry
     return record
 
 

@@ -14,6 +14,7 @@ import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import ConfigurationError
 from .history import append_record, default_history_path, make_record
 from .registry import discover_suites, metric_at, suites_matching
@@ -42,45 +43,50 @@ def run_suites(
     mode = "smoke" if smoke else "full"
     results: Dict[str, Dict[str, Any]] = {}
     failures: List[Tuple[str, BaseException]] = []
-    for suite in suites:
-        echo(f"[bench] {suite.name} ({mode}) ...")
-        start = time.perf_counter()
-        try:
-            metrics = suite.run(smoke=smoke)
-        except Exception as exc:  # noqa: BLE001 - reported, run fails
-            echo(f"[bench] {suite.name} FAILED: {exc!r}")
-            echo(traceback.format_exc().rstrip())
-            failures.append((suite.name, exc))
-            continue
-        elapsed = round(time.perf_counter() - start, 4)
-        if not isinstance(metrics, dict):
-            failures.append(
-                (
-                    suite.name,
-                    TypeError(
-                        f"suite returned {type(metrics).__name__}, "
-                        "expected a metrics dict"
-                    ),
+    # The whole run executes under a nest-safe telemetry scope so the
+    # appended record also says where the run's own time went (the obs
+    # suite stashes and restores this registry around its measurements).
+    with obs.enabled() as registry:
+        for suite in suites:
+            echo(f"[bench] {suite.name} ({mode}) ...")
+            start = time.perf_counter()
+            try:
+                with obs.span("bench.suite", suite=suite.name):
+                    metrics = suite.run(smoke=smoke)
+            except Exception as exc:  # noqa: BLE001 - reported, run fails
+                echo(f"[bench] {suite.name} FAILED: {exc!r}")
+                echo(traceback.format_exc().rstrip())
+                failures.append((suite.name, exc))
+                continue
+            elapsed = round(time.perf_counter() - start, 4)
+            if not isinstance(metrics, dict):
+                failures.append(
+                    (
+                        suite.name,
+                        TypeError(
+                            f"suite returned {type(metrics).__name__}, "
+                            "expected a metrics dict"
+                        ),
+                    )
                 )
-            )
-            continue
-        metrics.setdefault("elapsed_s", elapsed)
-        headline = ""
-        if suite.headline:
-            value = metric_at(metrics, suite.headline)
-            if value is not None:
-                headline = f"  {suite.headline}={value:g}" if isinstance(
-                    value, (int, float)
-                ) else f"  {suite.headline}={value}"
-        echo(f"[bench] {suite.name} ok in {elapsed:.2f}s{headline}")
-        results[suite.name] = metrics
+                continue
+            metrics.setdefault("elapsed_s", elapsed)
+            headline = ""
+            if suite.headline:
+                value = metric_at(metrics, suite.headline)
+                if value is not None:
+                    headline = f"  {suite.headline}={value:g}" if isinstance(
+                        value, (int, float)
+                    ) else f"  {suite.headline}={value}"
+            echo(f"[bench] {suite.name} ok in {elapsed:.2f}s{headline}")
+            results[suite.name] = metrics
     if failures:
         summary = "; ".join(f"{name}: {exc}" for name, exc in failures)
         raise ConfigurationError(
             f"{len(failures)}/{len(suites)} bench suites failed "
             f"(no record appended): {summary}"
         )
-    record = make_record(results, smoke=smoke)
+    record = make_record(results, smoke=smoke, telemetry=registry.summary())
     if append:
         path = history_path or default_history_path()
         append_record(path, record)

@@ -123,7 +123,15 @@ FLOORS: List[Floor] = [
         "resilience", "min_availability", 1e-9,
         doc="fault-injected campaigns still make progress",
     ),
+    Floor(
+        "obs", "identical", 1,
+        doc="result rows byte-identical with telemetry on and off",
+    ),
     # -- timing: full records only, relaxed by machine class ------------
+    Floor(
+        "obs", "off_overhead_pct", 2.0, op="<=", timing=True,
+        doc="telemetry-off guard overhead under 2% of sweep wall time",
+    ),
     Floor(
         "scheduler", "scale_free_200.speedup", 3.0, timing=True,
         doc="routing-cache schedule speedup at N=200 (baseline 6.38x)",

@@ -64,8 +64,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from . import obs
 from .experiments import (
     ExperimentResult,
     run_auxgraph_ablation,
@@ -85,6 +86,8 @@ from .experiments import (
     run_spineleaf_ablation,
     run_transport_ablation,
 )
+
+logger = obs.get_logger("cli")
 
 #: Experiment id -> zero-argument runner.
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
@@ -261,6 +264,16 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="print the expanded run list without executing",
+    )
+    sweep.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "enable out-of-band telemetry for the sweep and write the "
+            "trace (JSONL, rotating) to PATH; inspect it afterwards "
+            "with 'repro obs report PATH'.  Result rows are "
+            "byte-identical with or without tracing."
+        ),
     )
 
     worker = sub.add_parser(
@@ -490,6 +503,124 @@ def build_bench_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description=(
+            "inspect out-of-band telemetry traces written by "
+            "'scenarios sweep --trace' or obs.session(trace=...)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report",
+        help="aggregate a trace into span/counter/gauge/histogram tables",
+        description=(
+            "Reads the trace file plus its rotations, folds every line "
+            "into per-span timing rows and per-metric totals, and prints "
+            "aligned tables.  --by LABEL splits span rows by a label "
+            "value (e.g. --by scheduler)."
+        ),
+    )
+    report.add_argument("trace", help="path to a trace JSONL file")
+    report.add_argument(
+        "--by",
+        dest="span_labels",
+        action="append",
+        default=[],
+        metavar="LABEL",
+        help="split span rows by this label; repeatable",
+    )
+
+    tail = sub.add_parser(
+        "tail",
+        help="print the last records of a trace, one line each",
+        description=(
+            "Formats the newest records of the trace (meta, span, event, "
+            "counter, gauge, hist) as one human-readable line each; "
+            "--follow keeps watching the file for new records."
+        ),
+    )
+    tail.add_argument("trace", help="path to a trace JSONL file")
+    tail.add_argument(
+        "-n",
+        "--lines",
+        type=int,
+        default=20,
+        help="records to print (default: 20)",
+    )
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep printing records as they are appended (Ctrl-C stops)",
+    )
+    return parser
+
+
+def _obs_tail_follow(path: str) -> int:
+    """Poll the live trace file and print records as they land."""
+    import json as jsonlib
+    import time as timelib
+
+    position = 0
+    try:
+        while True:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    handle.seek(position)
+                    chunk = handle.read()
+            except OSError:
+                timelib.sleep(0.5)
+                continue
+            # Only consume complete lines; a partial tail stays for the
+            # next poll (the writer may be mid-record).
+            consumed = chunk.rfind("\n") + 1
+            position += consumed
+            for line in chunk[:consumed].splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    record = jsonlib.loads(line)
+                except ValueError:
+                    continue
+                formatted = (
+                    obs.format_record(record)
+                    if isinstance(record, dict)
+                    else None
+                )
+                if formatted:
+                    print(formatted, flush=True)
+            timelib.sleep(0.5)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _obs_main(argv: List[str]) -> int:
+    """The ``repro obs`` subcommand: report / tail."""
+    from .errors import ConfigurationError
+
+    args = build_obs_parser().parse_args(argv)
+    try:
+        if args.command == "report":
+            print(
+                obs.report(args.trace, span_labels=tuple(args.span_labels))
+            )
+            return 0
+        # tail
+        if args.follow:
+            return _obs_tail_follow(args.trace)
+        records = list(obs.iter_trace(args.trace, strict=False))
+        for record in records[-max(0, args.lines):]:
+            formatted = obs.format_record(record)
+            if formatted:
+                print(formatted)
+        return 0
+    except ConfigurationError as exc:
+        logger.error("%s", exc)
+        return 2
+
+
 def _bench_main(argv: List[str]) -> int:
     """The ``repro bench`` subcommand: list / run / verify / report."""
     from . import bench
@@ -514,27 +645,26 @@ def _bench_main(argv: List[str]) -> int:
                 bench_dir=args.bench_dir,
                 history_path=args.history,
                 append=not args.no_append,
-                echo=lambda message: print(message, file=sys.stderr),
+                echo=lambda message: logger.info("%s", message),
             )
             violations = bench.verify_record(record)
             if violations:
-                print(
-                    f"warning: {len(violations)} floor violation(s) in this "
-                    "record — 'repro bench verify' will fail:",
-                    file=sys.stderr,
+                logger.warning(
+                    "%d floor violation(s) in this record — "
+                    "'repro bench verify' will fail:",
+                    len(violations),
                 )
                 for violation in violations:
-                    print(f"  {violation.reason}", file=sys.stderr)
+                    logger.warning("  %s", violation.reason)
             return 0
         if args.command == "verify":
             history = bench.read_history(
                 args.history or bench.history.default_history_path()
             )
             if not history:
-                print(
-                    "error: no history records to verify — run "
-                    "'repro bench run' first",
-                    file=sys.stderr,
+                logger.error(
+                    "no history records to verify — run "
+                    "'repro bench run' first"
                 )
                 return 2
             record = history[-1]
@@ -572,7 +702,7 @@ def _bench_main(argv: List[str]) -> int:
         print(bench.render_report(records, suite=args.suite))
         return 0
     except ConfigurationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("%s", exc)
         return 2
 
 
@@ -618,7 +748,7 @@ def _topologies_main(argv: List[str]) -> int:
     try:
         family = get_family(args.family)
     except ConfigurationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("%s", exc)
         return 2
     if args.command == "describe":
         print(f"{family.name}: {family.description}")
@@ -646,12 +776,12 @@ def _topologies_main(argv: List[str]) -> int:
 
     overrides, bad = _parse_overrides(args.overrides)
     if overrides is None:
-        print(f"--set expects KEY=VALUE, got {bad!r}", file=sys.stderr)
+        logger.error("--set expects KEY=VALUE, got %r", bad)
         return 2
     try:
         net = family.build(overrides, seed=args.seed)
     except ConfigurationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("%s", exc)
         return 2
     kinds: Dict[str, int] = {}
     for node in net.nodes():
@@ -699,7 +829,7 @@ def _topologies_main(argv: List[str]) -> int:
         }
         with open(args.save, "w", encoding="utf-8") as handle:
             jsonlib.dump(payload, handle, indent=2, sort_keys=True)
-        print(f"saved topology to {args.save}", file=sys.stderr)
+        logger.info("saved topology to %s", args.save)
     return 0
 
 
@@ -711,26 +841,26 @@ def _faults_main(args) -> int:
     try:
         spec = get_scenario(args.scenario)
     except ConfigurationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("%s", exc)
         return 2
     if spec.fault_profile is None:
         fault_aware = [
             s.name for s in list_scenarios() if s.fault_profile is not None
         ]
-        print(
-            f"error: scenario {spec.name!r} has no fault profile; "
-            f"fault-aware scenarios: {fault_aware}",
-            file=sys.stderr,
+        logger.error(
+            "scenario %r has no fault profile; fault-aware scenarios: %s",
+            spec.name,
+            fault_aware,
         )
         return 2
     overrides, bad = _parse_overrides(args.overrides)
     if overrides is None:
-        print(f"--set expects KEY=VALUE, got {bad!r}", file=sys.stderr)
+        logger.error("--set expects KEY=VALUE, got %r", bad)
         return 2
     try:
         instance = spec.instantiate(overrides, seed=args.seed)
     except ConfigurationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("%s", exc)
         return 2
     profile = spec.fault_profile.resolved(instance.params)
     timeline = instance.fault_timeline
@@ -761,25 +891,19 @@ def _worker_main(args) -> int:
 
     host, _, port_text = args.connect.rpartition(":")
     if not host or not port_text.isdigit():
-        print(
-            f"--connect expects HOST:PORT, got {args.connect!r}",
-            file=sys.stderr,
-        )
+        logger.error("--connect expects HOST:PORT, got %r", args.connect)
         return 2
     try:
         executed = run_worker(host, int(port_text), worker_name=args.name)
     except (OSError, ConnectionError) as exc:
-        print(
-            f"error: cannot join sweep at {args.connect}: {exc}",
-            file=sys.stderr,
-        )
+        logger.error("cannot join sweep at %s: %s", args.connect, exc)
         return 2
     except Exception as exc:
         # run_worker re-raises a failing run after telling the
         # coordinator; the CLI reports it cleanly instead of a traceback.
-        print(f"error: worker failed a run: {exc}", file=sys.stderr)
+        logger.error("worker failed a run: %s", exc)
         return 2
-    print(f"worker finished: executed {executed} runs")
+    logger.info("worker finished: executed %d runs", executed)
     return 0
 
 
@@ -794,15 +918,20 @@ def _build_backend(args):
         port=args.port,
         local_workers=args.local_workers,
         timeout=args.timeout,
-        announce=lambda addr: print(
-            f"coordinator listening on {addr[0]}:{addr[1]} — join with "
-            f"'repro scenarios worker --connect {addr[0]}:{addr[1]}'",
-            file=sys.stderr,
+        announce=lambda addr: logger.info(
+            "coordinator listening on %s:%d — join with "
+            "'repro scenarios worker --connect %s:%d'",
+            addr[0],
+            addr[1],
+            addr[0],
+            addr[1],
         ),
     )
 
 
 def _scenarios_main(argv: List[str]) -> int:
+    import contextlib
+
     from .errors import ConfigurationError
     from .scenarios import SweepConfig, expand_runs, list_scenarios, run_sweep
     from .scenarios.sweep import make_sink
@@ -823,20 +952,20 @@ def _scenarios_main(argv: List[str]) -> int:
     grid = {}
     for item in args.grid:
         if "=" not in item:
-            print(f"--set expects KEY=V1,V2,... got {item!r}", file=sys.stderr)
+            logger.error("--set expects KEY=V1,V2,... got %r", item)
             return 2
         key, _, values = item.partition("=")
         grid[key] = [_parse_scalar(v) for v in values.split(",") if v]
     try:
         seeds = tuple(int(s) for s in args.seeds.split(",") if s)
     except ValueError:
-        print(f"--seeds expects integers, got {args.seeds!r}", file=sys.stderr)
+        logger.error("--seeds expects integers, got %r", args.seeds)
         return 2
     if args.sink and not args.sink_path:
-        print("--sink requires --sink-path", file=sys.stderr)
+        logger.error("--sink requires --sink-path")
         return 2
     if args.sink_path and not args.sink:
-        print("--sink-path requires --sink", file=sys.stderr)
+        logger.error("--sink-path requires --sink")
         return 2
     try:
         config = SweepConfig(
@@ -850,34 +979,86 @@ def _scenarios_main(argv: List[str]) -> int:
                 print(key.canonical())
             return 0
         sink = make_sink(args.sink, args.sink_path) if args.sink else None
-        result = run_sweep(
-            config,
-            workers=args.workers,
-            cache_dir=args.cache_dir,
-            jsonl_path=args.jsonl,
-            backend=_build_backend(args),
-            sink=sink,
+        trace_scope = (
+            obs.session(trace=args.trace)
+            if args.trace
+            else contextlib.nullcontext()
         )
+        with trace_scope:
+            result = run_sweep(
+                config,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                jsonl_path=args.jsonl,
+                backend=_build_backend(args),
+                sink=sink,
+            )
     except ConfigurationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("%s", exc)
         return 2
     print(result.to_table())
+    if args.trace:
+        logger.info(
+            "telemetry trace written to %s — inspect with "
+            "'repro obs report %s'",
+            args.trace,
+            args.trace,
+        )
     if args.save:
         result.save(args.save)
-        print(f"saved sweep to {args.save}", file=sys.stderr)
+        logger.info("saved sweep to %s", args.save)
     return 0
+
+
+def _extract_log_level(argv: List[str]) -> Tuple[List[str], Optional[str], Optional[str]]:
+    """Strip the global ``--log-level`` flag from anywhere in ``argv``.
+
+    Returns ``(rest, level, error)``.  The flag is global so it works in
+    front of or after any subcommand; stripping it here keeps every
+    subparser oblivious.
+    """
+    rest: List[str] = []
+    level: Optional[str] = None
+    index = 0
+    while index < len(argv):
+        item = argv[index]
+        if item == "--log-level":
+            if index + 1 >= len(argv):
+                return rest, None, "--log-level expects a value"
+            level = argv[index + 1]
+            index += 2
+            continue
+        if item.startswith("--log-level="):
+            level = item.partition("=")[2]
+            index += 1
+            continue
+        rest.append(item)
+        index += 1
+    if level is not None and level.strip().lower() not in obs.LOG_LEVELS:
+        return rest, None, (
+            f"--log-level expects one of {', '.join(obs.LOG_LEVELS)}, "
+            f"got {level!r}"
+        )
+    return rest, level, None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
+    argv, log_level, log_error = _extract_log_level(list(argv))
+    if log_error is not None:
+        print(log_error, file=sys.stderr)
+        return 2
+    obs.configure_logging(log_level)
     if argv and argv[0] == "scenarios":
         return _scenarios_main(argv[1:])
     if argv and argv[0] == "topologies":
         return _topologies_main(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -891,7 +1072,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.save:
             path = args.save if len(names) == 1 else f"{name}-{args.save}"
             result.save(path)
-            print(f"saved {name} to {path}", file=sys.stderr)
+            logger.info("saved %s to %s", name, path)
     return 0
 
 

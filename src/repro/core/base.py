@@ -10,9 +10,11 @@ reserved on every directed edge.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
+from .. import obs
 from ..errors import SchedulingError
 from ..network.graph import Network
 from ..network.paths import TreeResult
@@ -20,6 +22,36 @@ from ..tasks.aitask import AITask
 
 #: A directed edge key used throughout schedule records.
 Edge = Tuple[str, str]
+
+
+def traced_schedule(
+    method: Callable[..., "TaskSchedule"]
+) -> Callable[..., "TaskSchedule"]:
+    """Wrap a ``schedule`` implementation with out-of-band telemetry.
+
+    While :mod:`repro.obs` is enabled each call runs inside a
+    ``schedule`` span labelled with the scheduler's name and bumps a
+    ``schedule.accepted`` / ``schedule.rejected`` counter; while
+    telemetry is off the wrapper is a single attribute check around the
+    undisturbed method.  Telemetry never alters the outcome — the
+    original exception propagates unchanged.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self: "Scheduler", task: AITask, network: Network) -> "TaskSchedule":
+        registry = obs.active()
+        if registry is None:
+            return method(self, task, network)
+        try:
+            with registry.span("schedule", scheduler=self.name):
+                schedule = method(self, task, network)
+        except SchedulingError:
+            registry.inc("schedule.rejected", scheduler=self.name)
+            raise
+        registry.inc("schedule.accepted", scheduler=self.name)
+        return schedule
+
+    return wrapper
 
 
 @dataclass(frozen=True)

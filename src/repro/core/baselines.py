@@ -35,7 +35,7 @@ from ..network.paths import (
 )
 from ..tasks.aggregation import UploadAggregationPlan
 from ..tasks.aitask import AITask
-from .base import Edge, Scheduler, TaskSchedule
+from .base import Edge, Scheduler, TaskSchedule, traced_schedule
 from .fixed import MIN_RATE_GBPS
 
 
@@ -104,6 +104,7 @@ class KspLoadBalancedScheduler(Scheduler):
         # (candidates arrive weight-sorted, and max() keeps the first).
         return max(candidates, key=bottleneck).nodes
 
+    @traced_schedule
     def schedule(self, task: AITask, network: Network) -> TaskSchedule:
         # Phase 1: pick a path per flow, spreading over the k candidates.
         planned: Dict[Edge, int] = {}
@@ -285,6 +286,7 @@ class ChainScheduler(Scheduler):
             rates[edge] = held + rate
         return rates
 
+    @traced_schedule
     def schedule(self, task: AITask, network: Network) -> TaskSchedule:
         tree = self._chain_tree(task, network)
         broadcast_rates = self._reserve(task, network, tree, towards_root=False)

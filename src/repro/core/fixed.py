@@ -30,7 +30,7 @@ from ..network import routing
 from ..network.graph import Network
 from ..network.paths import dijkstra, latency_weight
 from ..tasks.aitask import AITask
-from .base import Edge, Scheduler, TaskSchedule
+from .base import Edge, Scheduler, TaskSchedule, traced_schedule
 
 #: Flows allocated less than this rate are considered blocked.
 MIN_RATE_GBPS = 1e-3
@@ -62,6 +62,7 @@ class FixedScheduler(Scheduler):
         self._min_rate = min_rate_gbps
         self._use_cache = use_cache
 
+    @traced_schedule
     def schedule(self, task: AITask, network: Network) -> TaskSchedule:
         cached = (
             routing.cache_enabled() if self._use_cache is None else self._use_cache

@@ -39,7 +39,7 @@ from ..network.graph import Network
 from ..network.paths import TreeResult, terminal_tree
 from ..tasks.aggregation import UploadAggregationPlan
 from ..tasks.aitask import AITask
-from .base import Edge, Scheduler, TaskSchedule
+from .base import Edge, Scheduler, TaskSchedule, traced_schedule
 
 #: Edges allocated less than this rate are considered blocked.
 MIN_RATE_GBPS = 1e-3
@@ -147,6 +147,7 @@ class FlexibleScheduler(Scheduler):
             rates[edge] = held + rate
         return rates
 
+    @traced_schedule
     def schedule(self, task: AITask, network: Network) -> TaskSchedule:
         broadcast_tree = self._build_tree(task, network)
         broadcast_rates = self._reserve_tree(

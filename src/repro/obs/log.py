@@ -1,0 +1,81 @@
+"""The ``repro`` logger: diagnostics on stderr, never stdout.
+
+Library modules get a namespaced child logger from :func:`get_logger`
+and log through it instead of ad-hoc ``print()`` calls; the CLI calls
+:func:`configure_logging` once (driven by the global ``--log-level``
+flag or ``REPRO_LOG_LEVEL``) so every diagnostic lands on *stderr* with
+one consistent format, keeping piped stdout output — tables, JSON rows
+— machine-clean.
+
+Unconfigured library use still surfaces warnings: the ``repro`` logger
+propagates to the root logger until :func:`configure_logging` attaches
+its own handler, at which point propagation is cut so messages are
+never duplicated.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+#: Root of the repro logger namespace.
+LOGGER_NAME = "repro"
+
+#: Environment default for the CLI's --log-level flag.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: Valid --log-level values (case-insensitive).
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or a dotted child (``repro.<name>``)."""
+    if name:
+        return logging.getLogger(f"{LOGGER_NAME}.{name}")
+    return logging.getLogger(LOGGER_NAME)
+
+
+class _CurrentStderr:
+    """A stream proxy resolving ``sys.stderr`` at write time.
+
+    ``logging.StreamHandler`` captures its stream once at construction;
+    resolving lazily instead keeps log output visible to anything that
+    swaps ``sys.stderr`` later (pytest capture, CLI redirection).
+    """
+
+    def write(self, text: str) -> int:
+        return sys.stderr.write(text)
+
+    def flush(self) -> None:
+        sys.stderr.flush()
+
+
+def configure_logging(level: Optional[str] = None) -> logging.Logger:
+    """Attach the stderr handler and set the level (idempotent).
+
+    ``level`` falls back to ``$REPRO_LOG_LEVEL`` and then ``"info"``.
+    Re-invoking only adjusts the level — handlers are never duplicated.
+    """
+    chosen = (level or os.environ.get(LOG_LEVEL_ENV) or "info").strip().lower()
+    if chosen not in LOG_LEVELS:
+        raise ConfigurationError(
+            f"unknown log level {chosen!r}; valid: {', '.join(LOG_LEVELS)}"
+        )
+    logger = get_logger()
+    if not any(
+        getattr(handler, "_repro_handler", False)
+        for handler in logger.handlers
+    ):
+        handler = logging.StreamHandler(_CurrentStderr())
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(getattr(logging, chosen.upper()))
+    return logger

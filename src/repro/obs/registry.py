@@ -1,0 +1,371 @@
+"""The telemetry registry: counters, gauges, histograms, and spans.
+
+One :class:`Telemetry` instance aggregates everything a process records
+between ``enable()`` and ``disable()``.  Counters and gauges are keyed
+by ``(name, sorted labels)``; histograms use fixed bucket edges so two
+registries (or two flush deltas) merge by plain addition; spans
+aggregate per *name* (labels ride only on the trace lines, keeping the
+in-memory footprint independent of run count).
+
+Spans record wall time always and simulated time whenever a simulator
+clock is bound (:meth:`Telemetry.bind_sim_clock` — the campaign runner
+binds ``lambda: sim.now`` for the duration of a run), so one trace
+answers both "where did the wall-clock go" and "where did sim time go".
+
+Everything is out-of-band by construction: recording mutates only this
+registry and the optional :class:`~repro.obs.trace.TraceSink`; nothing
+here can reach result rows or result sinks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .trace import TraceSink
+
+#: Sorted ``(key, value)`` label pairs — the hashable label identity.
+LabelItems = Tuple[Tuple[str, Any], ...]
+
+#: Default histogram bucket edges (milliseconds-flavoured, but unitless).
+DEFAULT_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0)
+
+
+def label_key(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+def label_text(items: LabelItems) -> str:
+    """Human form of a label key: ``{a=1,b=x}`` (empty string for none)."""
+    if not items:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+
+
+class Histogram:
+    """Fixed-edge histogram: ``len(edges) + 1`` buckets plus sum/count.
+
+    Bucket ``i`` counts observations ``<= edges[i]``; the final bucket
+    is the overflow.  Fixed edges make histograms mergeable by adding
+    bucket counts — the property the trace's flush-delta encoding and
+    ``repro obs report`` both rely on.
+    """
+
+    __slots__ = ("edges", "counts", "total", "count")
+
+    def __init__(self, edges: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ConfigurationError(
+                f"histogram edges must be strictly increasing, got {edges}"
+            )
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for index, edge in enumerate(self.edges):
+            if value <= edge:
+                break
+        else:
+            index = len(self.edges)
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+        }
+
+
+class Span:
+    """One in-flight timed region; created by :meth:`Telemetry.span`.
+
+    Context manager: wall time runs from ``__enter__`` to ``__exit__``;
+    simulated time is captured when the owning registry has a simulator
+    clock bound at both ends.
+    """
+
+    __slots__ = ("_telemetry", "name", "labels", "_wall0", "_sim0")
+
+    def __init__(
+        self, telemetry: "Telemetry", name: str, labels: LabelItems
+    ) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.labels = labels
+        self._wall0 = 0.0
+        self._sim0: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        clock = self._telemetry._sim_clock
+        self._sim0 = clock() if clock is not None else None
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        wall_ms = (time.perf_counter() - self._wall0) * 1000.0
+        sim_ms: Optional[float] = None
+        clock = self._telemetry._sim_clock
+        if clock is not None and self._sim0 is not None:
+            sim_ms = clock() - self._sim0
+        self._telemetry._record_span(self.name, self.labels, wall_ms, sim_ms)
+        return False
+
+
+class Telemetry:
+    """A process-local telemetry registry (thread-safe).
+
+    Args:
+        trace: optional :class:`TraceSink` receiving every span/event as
+            it happens and counter/gauge/histogram deltas on flush.
+    """
+
+    def __init__(self, trace: Optional[TraceSink] = None) -> None:
+        self.trace = trace
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelItems], float] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], float] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+        self._spans: Dict[str, Dict[str, float]] = {}
+        self._flushed_counters: Dict[Tuple[str, LabelItems], float] = {}
+        self._flushed_hist_counts: Dict[Tuple[str, LabelItems], List[int]] = {}
+        self._sim_clock: Optional[Callable[[], float]] = None
+        #: Instrumentation call count — the obs overhead benchmark uses
+        #: this to bound what the *disabled* guard would have cost.
+        self.touches = 0
+
+    # -- sim-time binding --------------------------------------------------
+
+    def bind_sim_clock(
+        self, clock: Optional[Callable[[], float]]
+    ) -> Optional[Callable[[], float]]:
+        """Install a simulated-time source; returns the previous one.
+
+        Spans opened while a clock is bound record ``sim_ms`` alongside
+        wall time.  Callers restore the returned previous clock when
+        their scope ends (the campaign runner does this in a finally).
+        """
+        previous = self._sim_clock
+        self._sim_clock = clock
+        return previous
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        key = (name, label_key(labels))
+        with self._lock:
+            self.touches += 1
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, label_key(labels))
+        with self._lock:
+            self.touches += 1
+            self._gauges[key] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> None:
+        key = (name, label_key(labels))
+        with self._lock:
+            self.touches += 1
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram(buckets)
+            histogram.observe(value)
+
+    def event(
+        self, name: str, *, sim_ms: Optional[float] = None, **labels: Any
+    ) -> None:
+        """A point occurrence: counted, and a trace line when tracing."""
+        items = label_key(labels)
+        with self._lock:
+            self.touches += 1
+            key = (name, items)
+            self._counters[key] = self._counters.get(key, 0) + 1
+            if self.trace is not None:
+                # The event line itself carries this occurrence; marking
+                # it flushed keeps the counter delta from re-counting it.
+                self._flushed_counters[key] = (
+                    self._flushed_counters.get(key, 0) + 1
+                )
+            if sim_ms is None and self._sim_clock is not None:
+                sim_ms = self._sim_clock()
+        if self.trace is not None:
+            record: Dict[str, Any] = {"type": "event", "name": name}
+            if labels:
+                record["labels"] = dict(items)
+            if sim_ms is not None:
+                record["sim_ms"] = round(sim_ms, 6)
+            self.trace.write(record)
+
+    def span(self, name: str, **labels: Any) -> Span:
+        return Span(self, name, label_key(labels))
+
+    def _record_span(
+        self,
+        name: str,
+        labels: LabelItems,
+        wall_ms: float,
+        sim_ms: Optional[float],
+    ) -> None:
+        with self._lock:
+            self.touches += 1
+            stats = self._spans.get(name)
+            if stats is None:
+                stats = self._spans[name] = {
+                    "count": 0,
+                    "total_ms": 0.0,
+                    "max_ms": 0.0,
+                    "total_sim_ms": 0.0,
+                }
+            stats["count"] += 1
+            stats["total_ms"] += wall_ms
+            if wall_ms > stats["max_ms"]:
+                stats["max_ms"] = wall_ms
+            if sim_ms is not None:
+                stats["total_sim_ms"] += sim_ms
+        if self.trace is not None:
+            record: Dict[str, Any] = {
+                "type": "span",
+                "name": name,
+                "ms": round(wall_ms, 6),
+            }
+            if labels:
+                record["labels"] = dict(labels)
+            if sim_ms is not None:
+                record["sim_ms"] = round(sim_ms, 6)
+            self.trace.write(record)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything recorded so far, as one JSON-able dict."""
+        with self._lock:
+            return {
+                "counters": {
+                    f"{name}{label_text(items)}": value
+                    for (name, items), value in sorted(self._counters.items())
+                },
+                "gauges": {
+                    f"{name}{label_text(items)}": value
+                    for (name, items), value in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    f"{name}{label_text(items)}": histogram.as_dict()
+                    for (name, items), histogram in sorted(
+                        self._histograms.items()
+                    )
+                },
+                "spans": {
+                    name: dict(stats)
+                    for name, stats in sorted(self._spans.items())
+                },
+            }
+
+    def summary(self) -> Dict[str, Any]:
+        """A compact roll-up (per-name totals, labels folded away).
+
+        This is what the bench runner stores into ``BENCH_HISTORY``
+        records: small, stable keys, no per-run label cardinality.
+        """
+        with self._lock:
+            counters: Dict[str, float] = {}
+            for (name, _items), value in self._counters.items():
+                counters[name] = counters.get(name, 0) + value
+            spans = {
+                name: {
+                    "count": stats["count"],
+                    "total_ms": round(stats["total_ms"], 3),
+                }
+                for name, stats in sorted(self._spans.items())
+            }
+            return {
+                "counters": {k: counters[k] for k in sorted(counters)},
+                "spans": spans,
+                "touches": self.touches,
+            }
+
+    def flush(self) -> None:
+        """Write counter/gauge/histogram state to the trace as deltas.
+
+        Counter and histogram lines carry the change since the previous
+        flush, so an aggregator sums lines without double counting;
+        gauges carry current values.  No-op without a trace sink.
+        """
+        if self.trace is None:
+            return
+        with self._lock:
+            counter_lines = []
+            for (name, items), value in sorted(self._counters.items()):
+                delta = value - self._flushed_counters.get((name, items), 0)
+                if delta:
+                    counter_lines.append((name, items, delta))
+                self._flushed_counters[(name, items)] = value
+            gauge_lines = [
+                (name, items, value)
+                for (name, items), value in sorted(self._gauges.items())
+            ]
+            hist_lines = []
+            for (name, items), histogram in sorted(self._histograms.items()):
+                seen = self._flushed_hist_counts.get(
+                    (name, items), [0] * len(histogram.counts)
+                )
+                delta_counts = [
+                    now - before for now, before in zip(histogram.counts, seen)
+                ]
+                if any(delta_counts):
+                    hist_lines.append(
+                        (name, items, histogram.edges, delta_counts)
+                    )
+                self._flushed_hist_counts[(name, items)] = list(
+                    histogram.counts
+                )
+        for name, items, delta in counter_lines:
+            record: Dict[str, Any] = {
+                "type": "counter",
+                "name": name,
+                "value": delta,
+            }
+            if items:
+                record["labels"] = dict(items)
+            self.trace.write(record)
+        for name, items, value in gauge_lines:
+            record = {"type": "gauge", "name": name, "value": value}
+            if items:
+                record["labels"] = dict(items)
+            self.trace.write(record)
+        for name, items, edges, delta_counts in hist_lines:
+            record = {
+                "type": "hist",
+                "name": name,
+                "edges": list(edges),
+                "counts": delta_counts,
+            }
+            if items:
+                record["labels"] = dict(items)
+            self.trace.write(record)
+        self.trace.flush()
+
+    def close(self) -> None:
+        """Flush pending deltas and close the trace sink (if any)."""
+        self.flush()
+        if self.trace is not None:
+            self.trace.close()

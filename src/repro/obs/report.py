@@ -1,0 +1,233 @@
+"""Trace aggregation and rendering: ``repro obs report`` / ``tail``.
+
+The report reads a trace (live file plus rotations), folds every line
+into per-span timing rows and per-counter/gauge/histogram totals, and
+renders aligned text tables.  The encoding makes aggregation a pure
+sum: span and event lines are one occurrence each, counter and
+histogram lines are flush deltas, gauges are last-write-wins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .registry import label_text
+from .trace import iter_trace
+
+#: Aggregated trace: the dict produced by :func:`aggregate_trace`.
+TraceSummary = Dict[str, Any]
+
+
+def _span_key(record: Dict[str, Any], by: Tuple[str, ...]) -> str:
+    """Span aggregation key: the name, plus any requested label values."""
+    name = record.get("name", "?")
+    labels = record.get("labels") or {}
+    extra = [f"{key}={labels[key]}" for key in by if key in labels]
+    return f"{name}[{','.join(extra)}]" if extra else name
+
+
+def _label_suffix(record: Dict[str, Any]) -> str:
+    labels = record.get("labels") or {}
+    return label_text(tuple(sorted(labels.items())))
+
+
+def aggregate_trace(
+    records: Iterable[Dict[str, Any]], *, span_labels: Tuple[str, ...] = ()
+) -> TraceSummary:
+    """Fold trace records into one summary dict.
+
+    Args:
+        records: parsed trace lines (see :func:`repro.obs.iter_trace`).
+        span_labels: label names to split span rows by (e.g.
+            ``("scheduler",)`` gives one row per scheduler per span).
+    """
+    spans: Dict[str, Dict[str, float]] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    hists: Dict[str, Dict[str, Any]] = {}
+    sessions = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "meta":
+            sessions += 1
+        elif kind == "span":
+            key = _span_key(record, span_labels)
+            stats = spans.setdefault(
+                key,
+                {
+                    "count": 0,
+                    "total_ms": 0.0,
+                    "max_ms": 0.0,
+                    "total_sim_ms": 0.0,
+                    "sim_count": 0,
+                },
+            )
+            ms = float(record.get("ms", 0.0))
+            stats["count"] += 1
+            stats["total_ms"] += ms
+            if ms > stats["max_ms"]:
+                stats["max_ms"] = ms
+            if record.get("sim_ms") is not None:
+                stats["total_sim_ms"] += float(record["sim_ms"])
+                stats["sim_count"] += 1
+        elif kind == "event":
+            key = record.get("name", "?") + _label_suffix(record)
+            counters[key] = counters.get(key, 0) + 1
+        elif kind == "counter":
+            key = record.get("name", "?") + _label_suffix(record)
+            counters[key] = counters.get(key, 0) + float(
+                record.get("value", 0)
+            )
+        elif kind == "gauge":
+            key = record.get("name", "?") + _label_suffix(record)
+            gauges[key] = float(record.get("value", 0.0))
+        elif kind == "hist":
+            key = record.get("name", "?") + _label_suffix(record)
+            edges = tuple(record.get("edges", ()))
+            counts = list(record.get("counts", ()))
+            merged = hists.get(key)
+            if merged is None or tuple(merged["edges"]) != edges:
+                hists[key] = {"edges": list(edges), "counts": counts}
+            else:
+                merged["counts"] = [
+                    a + b for a, b in zip(merged["counts"], counts)
+                ]
+    return {
+        "sessions": sessions,
+        "spans": spans,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": hists,
+    }
+
+
+def _format_table(
+    headers: Tuple[str, ...], rows: List[Tuple[str, ...]]
+) -> List[str]:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(w) if index == 0 else cell.rjust(w)
+                for index, (cell, w) in enumerate(zip(row, widths))
+            ).rstrip()
+        )
+    return lines
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """The ``repro obs report`` text: spans, counters, gauges, histograms."""
+    lines: List[str] = []
+    sessions = summary.get("sessions", 0)
+    lines.append(f"trace sessions: {sessions}")
+    spans = summary.get("spans", {})
+    if spans:
+        rows = []
+        for name in sorted(spans):
+            stats = spans[name]
+            count = int(stats["count"])
+            mean = stats["total_ms"] / count if count else 0.0
+            sim = (
+                f"{stats['total_sim_ms']:.1f}"
+                if stats.get("sim_count")
+                else "-"
+            )
+            rows.append(
+                (
+                    name,
+                    str(count),
+                    f"{stats['total_ms']:.1f}",
+                    f"{mean:.3f}",
+                    f"{stats['max_ms']:.3f}",
+                    sim,
+                )
+            )
+        lines.append("")
+        lines.append("spans:")
+        lines.extend(
+            "  " + line
+            for line in _format_table(
+                ("name", "count", "total_ms", "mean_ms", "max_ms", "sim_ms"),
+                rows,
+            )
+        )
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        rows = [
+            (name, f"{counters[name]:g}") for name in sorted(counters)
+        ]
+        lines.extend(
+            "  " + line for line in _format_table(("name", "value"), rows)
+        )
+    gauges = summary.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        rows = [(name, f"{gauges[name]:g}") for name in sorted(gauges)]
+        lines.extend(
+            "  " + line for line in _format_table(("name", "value"), rows)
+        )
+    hists = summary.get("histograms", {})
+    if hists:
+        lines.append("")
+        lines.append("histograms:")
+        for name in sorted(hists):
+            histogram = hists[name]
+            count = sum(histogram["counts"])
+            lines.append(f"  {name}  (n={count})")
+            edges = histogram["edges"]
+            labels = [f"<={edge:g}" for edge in edges] + [
+                f">{edges[-1]:g}" if edges else "all"
+            ]
+            for label, bucket in zip(labels, histogram["counts"]):
+                if bucket:
+                    lines.append(f"    {label:>10}  {bucket}")
+    if not (spans or counters or gauges or hists):
+        lines.append("(trace carries no telemetry records)")
+    return "\n".join(lines)
+
+
+def report(path: str, *, span_labels: Tuple[str, ...] = ()) -> str:
+    """Aggregate a trace file (plus rotations) and render the report."""
+    return render_summary(
+        aggregate_trace(iter_trace(path), span_labels=span_labels)
+    )
+
+
+def format_record(record: Dict[str, Any]) -> Optional[str]:
+    """One trace record as one human line (``repro obs tail``)."""
+    kind = record.get("type")
+    if kind == "meta":
+        return f"[meta]    session pid={record.get('pid')}"
+    name = record.get("name", "?")
+    suffix = _label_suffix(record)
+    if kind == "span":
+        sim = (
+            f" sim={record['sim_ms']:.3f}ms"
+            if record.get("sim_ms") is not None
+            else ""
+        )
+        return f"[span]    {name}{suffix} {record.get('ms', 0.0):.3f}ms{sim}"
+    if kind == "event":
+        sim = (
+            f" sim={record['sim_ms']:.3f}ms"
+            if record.get("sim_ms") is not None
+            else ""
+        )
+        return f"[event]   {name}{suffix}{sim}"
+    if kind == "counter":
+        return f"[counter] {name}{suffix} +{record.get('value', 0):g}"
+    if kind == "gauge":
+        return f"[gauge]   {name}{suffix} = {record.get('value', 0.0):g}"
+    if kind == "hist":
+        count = sum(record.get("counts", ()))
+        return f"[hist]    {name}{suffix} +{count} observations"
+    return None

@@ -1,0 +1,186 @@
+"""The trace sink: out-of-band telemetry as rotating JSONL files.
+
+A :class:`TraceSink` receives every telemetry record the active
+:class:`~repro.obs.registry.Telemetry` emits — span closures, point
+events, and counter/gauge/histogram flush deltas — and appends each as
+one JSON line.  The file rotates by size (``path`` -> ``path.1`` ->
+``path.2`` ...) so an always-on trace cannot eat the disk, and the sink
+opens in append mode so successive sessions extend one trajectory.
+
+Record vocabulary (the ``type`` field):
+
+* ``meta`` — one line per session: pid, host time, schema version.
+* ``span`` — one closed span: name, labels, wall-clock ``ms``, and
+  ``sim_ms`` when a simulator clock was bound while the span ran.
+* ``event`` — a point occurrence (e.g. a fault transition): name,
+  labels, optional ``sim_ms``.
+* ``counter`` / ``gauge`` / ``hist`` — flush-time snapshots.  Counter
+  and histogram lines carry *deltas since the previous flush*, so an
+  aggregator simply sums every line it sees; gauge lines carry the
+  current value (last one wins).
+
+Everything here is strictly out-of-band: nothing in this module is
+reachable from result rows, golden files, or result sinks, and the
+:mod:`repro.obs` facade compiles to a no-op when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+
+#: Trace schema version, stamped on every session's meta line.
+TRACE_SCHEMA = 1
+
+
+class TraceSink:
+    """Rotating JSONL writer for telemetry records.
+
+    Args:
+        path: the live trace file; rotations move it to ``path.1`` ...
+            ``path.<backups>`` (oldest dropped).
+        max_bytes: rotate once the live file would exceed this size.
+        backups: rotated files to keep (0 truncates instead of keeping).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_bytes: int = 16_000_000,
+        backups: int = 2,
+    ) -> None:
+        if max_bytes < 4096:
+            raise ConfigurationError(
+                f"max_bytes must be >= 4096, got {max_bytes}"
+            )
+        if backups < 0:
+            raise ConfigurationError(f"backups must be >= 0, got {backups}")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self._handle = None
+        self._size = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _open(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = self._handle.tell()
+        self._write_locked(
+            {
+                "type": "meta",
+                "schema": TRACE_SCHEMA,
+                "pid": os.getpid(),
+                "wall_s": round(time.time(), 3),
+            }
+        )
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        self._handle = None
+        if self.backups == 0:
+            os.remove(self.path)
+        else:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.backups - 1, 0, -1):
+                src = f"{self.path}.{index}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{index + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        self._open()
+
+    def _write_locked(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        if self._size + len(line) + 1 > self.max_bytes and self._size > 0:
+            self._rotate()
+        self._handle.write(line)
+        self._handle.write("\n")
+        self._size += len(line) + 1
+
+    # -- API ---------------------------------------------------------------
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record as one JSON line (thread-safe)."""
+        with self._lock:
+            if self._handle is None:
+                self._open()
+            self._write_locked(record)
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def trace_files(path: str) -> List[str]:
+    """The live trace plus its rotations, oldest first."""
+    paths: List[str] = []
+    index = 1
+    while os.path.exists(f"{path}.{index}"):
+        paths.append(f"{path}.{index}")
+        index += 1
+    paths.reverse()
+    if os.path.exists(path):
+        paths.append(path)
+    return paths
+
+
+def iter_trace(
+    paths: Union[str, Sequence[str]], *, strict: bool = True
+) -> Iterator[Dict[str, Any]]:
+    """Parsed records from one or more trace files, in file order.
+
+    A single string expands to the file plus its rotations (oldest
+    first).  A malformed line raises with its location when ``strict``;
+    a *final* partial line is always tolerated — a live trace may be
+    mid-write.
+    """
+    if isinstance(paths, str):
+        expanded = trace_files(paths)
+        if not expanded:
+            raise ConfigurationError(f"no trace file at {paths!r}")
+    else:
+        expanded = list(paths)
+    for path in expanded:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for number, line in enumerate(lines, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except ValueError:
+                if number == len(lines):
+                    continue  # live trace mid-write
+                if strict:
+                    raise ConfigurationError(
+                        f"{path}:{number}: malformed trace line: {text[:80]!r}"
+                    ) from None
+                continue
+            if isinstance(record, dict):
+                yield record

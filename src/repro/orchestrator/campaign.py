@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Union
 
+from .. import obs
 from ..core.base import Scheduler
 from ..core.prediction import IterationPredictor
 from ..errors import OrchestrationError
@@ -189,7 +190,21 @@ class CampaignRunner:
 
             Process(sim, reschedule_loop(), name="reschedule-loop")
 
-        sim.run(until=until)
+        registry = obs.active()
+        if registry is None:
+            sim.run(until=until)
+        else:
+            # Bind the simulator's clock so every span closed during the
+            # campaign (scheduling, this whole run) also reports how
+            # much *simulated* time elapsed inside it.
+            previous_clock = registry.bind_sim_clock(lambda: sim.now)
+            try:
+                with registry.span(
+                    "campaign", scheduler=orchestrator.scheduler.name
+                ):
+                    sim.run(until=until)
+            finally:
+                registry.bind_sim_clock(previous_clock)
         blocked = sum(
             1 for o in outcomes.values() if o.admitted_ms is None
         )

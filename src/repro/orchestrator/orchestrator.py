@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..compute.container import Container, ResourceDemand
 from ..compute.manager import ComputingManager
 from ..compute.server import Server
@@ -160,6 +161,7 @@ class Orchestrator:
         except PlacementError as exc:
             record.status = TaskStatus.BLOCKED
             self.database.log(self._clock_ms, f"{admitted.task_id}: placement failed: {exc}")
+            obs.inc("orchestrator.blocked", scheduler=self.scheduler.name)
             return record
         try:
             schedule = self.scheduler.schedule(admitted, self.network)
@@ -167,6 +169,7 @@ class Orchestrator:
             self._destroy_containers(admitted)
             record.status = TaskStatus.BLOCKED
             self.database.log(self._clock_ms, f"{admitted.task_id}: scheduling failed: {exc}")
+            obs.inc("orchestrator.blocked", scheduler=self.scheduler.name)
             return record
         config_ms = self.sdn.install(schedule)
         record.schedule = schedule
@@ -177,6 +180,12 @@ class Orchestrator:
             f"{admitted.task_id}: running via {self.scheduler.name} "
             f"({config_ms:.3f} ms configuration)",
         )
+        if obs.active() is not None:
+            # Reservation pressure peaks right after a successful admit;
+            # sampling here (enabled-only, O(links)) captures the
+            # hotspot profile without touching the admission path.
+            obs.inc("orchestrator.admitted", scheduler=self.scheduler.name)
+            obs.observe_network(self.network, scheduler=self.scheduler.name)
         return record
 
     def complete(self, task_id: str) -> TaskRecord:

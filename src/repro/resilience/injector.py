@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import obs
 from ..orchestrator.orchestrator import Orchestrator
 from ..sim.engine import Simulator
 from .accounting import AvailabilityAccountant
@@ -72,6 +73,12 @@ class FaultInjector:
         self, event: FaultEvent, sim: Simulator, orchestrator: Orchestrator
     ) -> None:
         orchestrator.advance_clock(sim.now)
+        obs.event(
+            f"fault.{'fail' if event.kind == FAIL else 'repair'}",
+            sim_ms=sim.now,
+            component=event.component,
+            subject=event.label(),
+        )
         if event.component == "link":
             u, v = event.subject
             if event.kind == FAIL:

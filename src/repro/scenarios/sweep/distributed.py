@@ -51,9 +51,12 @@ import time
 import warnings
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from ... import obs
 from ...errors import ConfigurationError
 from .backends import EmitFn, SweepBackend, install_shipped_specs, pickled_sweep_specs
 from .engine import RunKey, execute_run, store_cached
+
+logger = obs.get_logger("sweep.distributed")
 
 
 def _send(writer, message: Dict[str, Any]) -> None:
@@ -125,6 +128,27 @@ class _Coordinator:
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
         self.failure: Optional[BaseException] = None
+        #: Worker-churn accounting, exposed on the backend after the
+        #: sweep as ``SocketQueueBackend.worker_stats``.
+        self.worker_stats: Dict[str, int] = {
+            "connects": 0,
+            "disconnects": 0,
+            "requeues": 0,
+            "results": 0,
+        }
+        self._checkout_at: Dict[RunKey, float] = {}
+
+    def on_connect(self, worker: str) -> None:
+        with self._lock:
+            self.worker_stats["connects"] += 1
+        obs.inc("coordinator.connects")
+        logger.debug("worker %s connected", worker)
+
+    def on_disconnect(self, worker: str) -> None:
+        with self._lock:
+            self.worker_stats["disconnects"] += 1
+        obs.inc("coordinator.disconnects")
+        logger.debug("worker %s disconnected", worker)
 
     @property
     def finished(self) -> bool:
@@ -140,7 +164,9 @@ class _Coordinator:
                 if self.failure is not None or not self._remaining:
                     return None
                 if self._pending:
-                    return self._pending.popleft()
+                    key = self._pending.popleft()
+                    self._checkout_at[key] = time.monotonic()
+                    return key
                 self._changed.wait(timeout=0.1)
 
     def complete(self, key: RunKey, rows: List[Dict[str, Any]]) -> None:
@@ -148,6 +174,8 @@ class _Coordinator:
             if key not in self._remaining:
                 return  # duplicate delivery of a re-queued run
             self._remaining.discard(key)
+            self.worker_stats["results"] += 1
+            checked_out = self._checkout_at.pop(key, None)
             try:
                 self._pending.remove(key)
             except ValueError:
@@ -157,12 +185,29 @@ class _Coordinator:
             except BaseException as exc:  # surface sink/recorder errors
                 self.failure = exc
             self._changed.notify_all()
+        if checked_out is not None:
+            obs.observe(
+                "coordinator.run_latency_ms",
+                (time.monotonic() - checked_out) * 1000.0,
+            )
 
-    def requeue(self, key: RunKey) -> None:
+    def requeue(self, key: RunKey, *, worker: str = "?") -> None:
         with self._changed:
             if key in self._remaining and key not in self._pending:
                 self._pending.append(key)
+                self.worker_stats["requeues"] += 1
+                self._checkout_at.pop(key, None)
                 self._changed.notify_all()
+                requeued = True
+            else:
+                requeued = False
+        if requeued:
+            logger.warning(
+                "worker %s disconnected mid-run; re-queued %s",
+                worker,
+                key.canonical(),
+            )
+            obs.event("coordinator.requeue", worker=worker)
 
     def abort(self, exc: BaseException) -> None:
         with self._changed:
@@ -184,12 +229,17 @@ class _Coordinator:
 def _serve_client(conn: socket.socket, coordinator: _Coordinator) -> None:
     """One worker connection: handshake, then the next/run/result loop."""
     checked_out: Optional[RunKey] = None
+    worker = "?"
+    connected = False
     reader = conn.makefile("r", encoding="utf-8")
     writer = conn.makefile("w", encoding="utf-8")
     try:
         hello = _recv(reader)
         if hello.get("type") != "hello":
             return
+        worker = str(hello.get("worker") or "?")
+        connected = True
+        coordinator.on_connect(worker)
         _send(
             writer,
             {
@@ -245,7 +295,9 @@ def _serve_client(conn: socket.socket, coordinator: _Coordinator) -> None:
         pass  # client is gone or spoke garbage; its run is re-queued below
     finally:
         if checked_out is not None:
-            coordinator.requeue(checked_out)
+            coordinator.requeue(checked_out, worker=worker)
+        if connected:
+            coordinator.on_disconnect(worker)
         try:
             conn.close()
         except OSError:
@@ -293,6 +345,9 @@ class SocketQueueBackend(SweepBackend):
         self.announce = announce
         #: (host, port) actually bound, set while ``execute`` runs.
         self.address: Optional[Tuple[str, int]] = None
+        #: Worker-churn counters of the most recent ``execute``:
+        #: connects / disconnects / requeues / results.
+        self.worker_stats: Dict[str, int] = {}
 
     def execute(
         self,
@@ -379,6 +434,7 @@ class SocketQueueBackend(SweepBackend):
         finally:
             server.close()
             self.address = None
+            self.worker_stats = coordinator.worker_stats
         for thread in locals_:
             thread.join(timeout=5.0)
         for handler in handlers:

@@ -33,9 +33,11 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ... import obs
 from ...core.fixed import FixedScheduler
 from ...core.flexible import FlexibleScheduler
 from ...errors import ConfigurationError
+from ...network.routing import peek_cache
 from ...orchestrator.campaign import campaign_runner_for, orchestrator_for
 from ...orchestrator.database import TaskStatus
 from ...reporting import ExperimentResult, Row
@@ -291,8 +293,25 @@ def execute_run(key: RunKey) -> List[Row]:
     )
     rows: List[Row] = []
     for scheduler in (FixedScheduler(), FlexibleScheduler()):
-        instance = spec.instantiate(key.params_dict(), seed=key.seed)
-        rows.append({**prefix, **serve(instance, scheduler)})
+        with obs.span("run.build", scenario=key.scenario, seed=key.seed):
+            instance = spec.instantiate(key.params_dict(), seed=key.seed)
+        with obs.span(
+            "run.schedule",
+            scenario=key.scenario,
+            scheduler=scheduler.name,
+            serving=mode,
+        ):
+            rows.append({**prefix, **serve(instance, scheduler)})
+        if obs.active() is not None:
+            cache = peek_cache(instance.network)
+            if cache is not None:
+                for stat, moved in cache.stats.delta({}).items():
+                    if moved:
+                        obs.inc(
+                            f"pathcache.{stat}",
+                            moved,
+                            scheduler=scheduler.name,
+                        )
     return rows
 
 
@@ -441,6 +460,9 @@ def run_sweep(
             if cached is not None:
                 rows_by_key[key] = cached
     missing = [key for key in keys if key not in rows_by_key]
+    obs.inc("sweep.runs_total", len(keys), sweep=name)
+    obs.inc("sweep.resume_hits", len(keys) - len(missing), sweep=name)
+    obs.inc("sweep.runs_executed", len(missing), sweep=name)
 
     sinks: List[ResultSink] = []
     if jsonl_path is not None:
@@ -459,15 +481,17 @@ def run_sweep(
 
         if missing:
             def record(key: RunKey, rows: List[Row]) -> None:
-                rows_by_key[key] = rows
-                if cache_dir is not None:
-                    store_cached(cache_dir, key, rows)
-                for each in sinks:
-                    each.write_run(key, rows)
+                with obs.span("run.drain", scenario=key.scenario):
+                    rows_by_key[key] = rows
+                    if cache_dir is not None:
+                        store_cached(cache_dir, key, rows)
+                    for each in sinks:
+                        each.write_run(key, rows)
 
             recorder = OrderedRecorder(missing, record)
             resolved = resolve_backend(backend, workers=workers)
-            resolved.execute(missing, recorder.emit, cache_dir=cache_dir)
+            with obs.span("sweep", sweep=name, runs=len(missing)):
+                resolved.execute(missing, recorder.emit, cache_dir=cache_dir)
             recorder.check_complete()
     except BaseException:
         # A failed sweep must not leave sinks holding resources, but a

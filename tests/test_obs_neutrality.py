@@ -1,0 +1,88 @@
+"""Telemetry neutrality: the out-of-band guarantee, asserted end to end.
+
+The same sweep runs on every execution backend (serial, process pool,
+socket coordinator) with telemetry off and with telemetry on + tracing,
+and the results must be indistinguishable: byte-identical result rows
+and byte-identical result-sink files.  Each telemetry-on leg also
+checks the trace actually recorded something, so a silently-dead
+telemetry path can't make the neutrality claim vacuously true.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.scenarios import SocketQueueBackend, SweepConfig, run_sweep
+
+#: 2 runs, 4 servings — the matrix is 6 sweeps, so keep each cheap.
+TOY = SweepConfig(
+    scenarios=("toy-triangle",), grid={"demand_gbps": [5.0]}, seeds=(0, 1)
+)
+
+BACKENDS = ("serial", "pool", "socket")
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _backend_kwargs(name):
+    if name == "socket":
+        return {"backend": SocketQueueBackend(local_workers=2, timeout=60.0)}
+    if name == "pool":
+        return {"workers": 2}
+    return {"workers": 1}
+
+
+def _run(tmp_path, backend_name, *, telemetry):
+    tag = f"{backend_name}-{'on' if telemetry else 'off'}"
+    jsonl = tmp_path / f"rows-{tag}.jsonl"
+    kwargs = _backend_kwargs(backend_name)
+    if telemetry:
+        trace = str(tmp_path / f"trace-{tag}.jsonl")
+        with obs.enabled(trace=trace) as registry:
+            result = run_sweep(TOY, jsonl_path=str(jsonl), **kwargs)
+        assert registry.summary()["touches"] > 0, (
+            "telemetry-on leg recorded nothing — neutrality would be vacuous"
+        )
+    else:
+        result = run_sweep(TOY, jsonl_path=str(jsonl), **kwargs)
+    return result, jsonl.read_bytes()
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_rows_and_sink_bytes_identical_on_vs_off(tmp_path, backend_name):
+    off_result, off_sink = _run(tmp_path, backend_name, telemetry=False)
+    on_result, on_sink = _run(tmp_path, backend_name, telemetry=True)
+    assert on_result.to_json() == off_result.to_json()
+    assert on_sink == off_sink
+
+
+def test_whole_matrix_agrees_with_serial_off(tmp_path):
+    baseline, baseline_sink = _run(tmp_path / "base", "serial", telemetry=False)
+    for backend_name in BACKENDS:
+        for telemetry in (False, True):
+            result, sink = _run(
+                tmp_path / f"{backend_name}-{telemetry}",
+                backend_name,
+                telemetry=telemetry,
+            )
+            assert result.to_json() == baseline.to_json(), (
+                f"{backend_name} telemetry={telemetry} diverged"
+            )
+            assert sink == baseline_sink
+
+
+def test_trace_lines_never_reach_result_sink(tmp_path):
+    """The sink file holds result rows only — no telemetry vocabulary."""
+    _, sink_bytes = _run(tmp_path, "serial", telemetry=True)
+    for line in sink_bytes.decode("utf-8").strip().splitlines():
+        record = json.loads(line)
+        assert "type" not in record or record["type"] not in (
+            "span", "event", "counter", "gauge", "hist", "meta"
+        )
+        assert "scheduler" in record  # a result row, not telemetry

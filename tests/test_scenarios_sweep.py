@@ -406,8 +406,8 @@ class TestWorkerCli:
         assert main(["scenarios", "worker", "--connect", f"{host}:{port}"]) == 0
         coordinator.join(timeout=60.0)
         assert not coordinator.is_alive()
-        out = capsys.readouterr().out
-        assert "executed 4 runs" in out
+        err = capsys.readouterr().err
+        assert "executed 4 runs" in err
         assert len(results["result"].rows) == 8
 
 
