@@ -1,4 +1,4 @@
-.PHONY: test bench bench-smoke bench-verify smoke sweep-smoke topo-smoke obs-smoke properties all
+.PHONY: test bench bench-smoke bench-csr bench-verify smoke sweep-smoke topo-smoke obs-smoke properties all
 
 # Tier-1: the full test suite (pyproject.toml supplies pythonpath/testpaths).
 test:
@@ -17,6 +17,13 @@ bench-smoke:
 
 # Gate the tracked per-suite floors against the newest history record.
 bench-verify:
+	PYTHONPATH=src python -m repro.cli bench verify
+
+# The CSR routing-kernel suite alone (smoke workloads): N=200 on/off
+# byte-identity, throughput/hub-congestion probes, and the N=5000
+# scale-free build-and-schedule smoke, then the floor gate.
+bench-csr:
+	PYTHONPATH=src python -m repro.cli bench run --smoke --suite csr
 	PYTHONPATH=src python -m repro.cli bench verify
 
 # The hypothesis property suites under the derandomized CI profile.

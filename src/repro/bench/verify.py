@@ -127,6 +127,18 @@ FLOORS: List[Floor] = [
         "obs", "identical", 1,
         doc="result rows byte-identical with telemetry on and off",
     ),
+    Floor(
+        "csr", "scale_free_200.identical", 1,
+        doc="CSR and object kernels byte-identical at N=200",
+    ),
+    Floor(
+        "csr", "scale_free_1k.hub_utilisation", 1.001, op="<=",
+        doc="hub edges never oversubscribed under held schedules",
+    ),
+    Floor(
+        "csr", "scale_free_5k.scheduled", 3,
+        doc="the N=5000 scale-free regime builds and schedules",
+    ),
     # -- timing: full records only, relaxed by machine class ------------
     Floor(
         "obs", "off_overhead_pct", 2.0, op="<=", timing=True,
@@ -135,6 +147,10 @@ FLOORS: List[Floor] = [
     Floor(
         "scheduler", "scale_free_200.speedup", 3.0, timing=True,
         doc="routing-cache schedule speedup at N=200 (baseline 6.38x)",
+    ),
+    Floor(
+        "csr", "scale_free_200.speedup", 5.0, timing=True,
+        doc="CSR kernel speedup over the cached object path at N=200",
     ),
     Floor(
         "topologies", "clos.builds_per_s", 100.0, timing=True,

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import NoPathError, SchedulingError
-from ..network import routing
+from ..network import csr, routing
 from ..network.graph import Network
 from ..network.paths import (
     PathResult,
@@ -48,6 +48,9 @@ class KspLoadBalancedScheduler(Scheduler):
         use_cache: resolve the k-shortest candidates through the
             network's :class:`~repro.network.routing.PathCache`.
             ``None`` defers to the ``REPRO_PATH_CACHE`` switch.
+        use_csr: run Yen's searches and bottleneck scoring on the
+            array-native CSR kernel; byte-identical results.  ``None``
+            defers to the ``REPRO_CSR`` switch.
     """
 
     name = "ksp-lb"
@@ -57,6 +60,7 @@ class KspLoadBalancedScheduler(Scheduler):
         k: int = 3,
         min_rate_gbps: float = MIN_RATE_GBPS,
         use_cache: Optional[bool] = None,
+        use_csr: Optional[bool] = None,
     ) -> None:
         if k < 1:
             raise SchedulingError(f"k must be >= 1, got {k}")
@@ -67,6 +71,7 @@ class KspLoadBalancedScheduler(Scheduler):
         self._k = k
         self._min_rate = min_rate_gbps
         self._use_cache = use_cache
+        self._use_csr = use_csr
 
     def _best_path(
         self,
@@ -85,20 +90,47 @@ class KspLoadBalancedScheduler(Scheduler):
         cached = (
             routing.cache_enabled() if self._use_cache is None else self._use_cache
         )
+        use_csr = csr.resolve(self._use_csr)
         if cached:
             candidates = routing.get_cache(network).k_shortest_paths(
-                source, destination, self._k, routing.LatencyWeightSpec(network)
+                source,
+                destination,
+                self._k,
+                routing.LatencyWeightSpec(network),
+                csr=self._use_csr,
+            )
+        elif use_csr:
+            candidates = csr.k_shortest_paths_csr(
+                network,
+                source,
+                destination,
+                self._k,
+                routing.LatencyWeightSpec(network),
             )
         else:
             candidates = k_shortest_paths(
                 network, source, destination, self._k, latency_weight(network)
             )
 
-        def bottleneck(path: PathResult) -> float:
-            return min(
-                network.residual_gbps(a, b) - planned.get((a, b), 0) * demand
-                for a, b in zip(path.nodes, path.nodes[1:])
-            )
+        if use_csr:
+            # Vectorised residual gather (same floats as residual_gbps).
+            snapshot = csr.get_snapshot(network)
+            residual = snapshot.residual_list()
+            edge_pos = snapshot.edge_pos
+
+            def bottleneck(path: PathResult) -> float:
+                return min(
+                    residual[edge_pos[(a, b)]] - planned.get((a, b), 0) * demand
+                    for a, b in zip(path.nodes, path.nodes[1:])
+                )
+
+        else:
+
+            def bottleneck(path: PathResult) -> float:
+                return min(
+                    network.residual_gbps(a, b) - planned.get((a, b), 0) * demand
+                    for a, b in zip(path.nodes, path.nodes[1:])
+                )
 
         # Max bottleneck residual; ties broken towards the shorter path
         # (candidates arrive weight-sorted, and max() keeps the first).
@@ -127,14 +159,30 @@ class KspLoadBalancedScheduler(Scheduler):
 
         # Phase 2: equal-share rates where this task's flows still share
         # an edge (unavoidable on the global node's access link).
-        def flow_rate(path: Tuple[str, ...]) -> float:
-            return min(
-                [task.demand_gbps]
-                + [
-                    network.residual_gbps(a, b) / planned[(a, b)]
-                    for a, b in zip(path, path[1:])
-                ]
-            )
+        if csr.resolve(self._use_csr):
+            snapshot = csr.get_snapshot(network)
+            residual = snapshot.residual_list()
+            edge_pos = snapshot.edge_pos
+
+            def flow_rate(path: Tuple[str, ...]) -> float:
+                return min(
+                    [task.demand_gbps]
+                    + [
+                        residual[edge_pos[(a, b)]] / planned[(a, b)]
+                        for a, b in zip(path, path[1:])
+                    ]
+                )
+
+        else:
+
+            def flow_rate(path: Tuple[str, ...]) -> float:
+                return min(
+                    [task.demand_gbps]
+                    + [
+                        network.residual_gbps(a, b) / planned[(a, b)]
+                        for a, b in zip(path, path[1:])
+                    ]
+                )
 
         broadcast_rates = {
             local: flow_rate(path) for local, path in broadcast_paths.items()
@@ -201,6 +249,7 @@ class ChainScheduler(Scheduler):
         self,
         min_rate_gbps: float = MIN_RATE_GBPS,
         use_cache: Optional[bool] = None,
+        use_csr: Optional[bool] = None,
     ) -> None:
         if min_rate_gbps <= 0:
             raise SchedulingError(
@@ -208,6 +257,7 @@ class ChainScheduler(Scheduler):
             )
         self._min_rate = min_rate_gbps
         self._use_cache = use_cache
+        self._use_csr = use_csr
 
     def _route(self, network: Network):
         """A point-to-point router: cached SSSP extraction or Dijkstra.
@@ -221,15 +271,49 @@ class ChainScheduler(Scheduler):
         if cached:
             cache = routing.get_cache(network)
             spec = routing.LatencyWeightSpec(network)
-            return lambda src, dst: cache.shortest_path(src, dst, spec)
+            return lambda src, dst: cache.shortest_path(
+                src, dst, spec, csr=self._use_csr
+            )
+        if csr.resolve(self._use_csr):
+            spec = routing.LatencyWeightSpec(network)
+            return lambda src, dst: csr.shortest_path_csr(network, src, dst, spec)
         weight = latency_weight(network)
         return lambda src, dst: dijkstra(network, src, dst, weight)
 
     def _visit_order(self, task: AITask, network: Network) -> List[str]:
         """Nearest-neighbour order over terminals, starting at the root."""
-        route = self._route(network)
         remaining = list(task.local_nodes)
         order = [task.global_node]
+        if csr.resolve(self._use_csr):
+            # Score the whole remaining set against one single-source
+            # tree's distance dict per step instead of one point-to-point
+            # query per (step, candidate) pair.  Same floats — the
+            # extracted path weight *is* the tree distance.
+            cached = (
+                routing.cache_enabled()
+                if self._use_cache is None
+                else self._use_cache
+            )
+            spec = routing.LatencyWeightSpec(network)
+            cache = routing.get_cache(network) if cached else None
+            while remaining:
+                current = order[-1]
+                if cache is not None:
+                    tree = cache.sssp(current, spec, csr=self._use_csr)
+                else:
+                    tree = csr.sssp_csr(network, current, spec)
+                distance = tree.distance
+                scored = []
+                for node in remaining:
+                    d = distance.get(node)
+                    if d is None:
+                        raise NoPathError(current, node)
+                    scored.append((d, node))
+                best = min(scored)[1]
+                order.append(best)
+                remaining.remove(best)
+            return order
+        route = self._route(network)
         while remaining:
             current = order[-1]
             best = min(

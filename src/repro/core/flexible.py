@@ -33,7 +33,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..errors import NoPathError, SchedulingError
-from ..network import routing
+from ..network import csr, routing
 from ..network.auxiliary import AuxiliaryGraphBuilder, AuxiliaryWeights
 from ..network.graph import Network
 from ..network.paths import TreeResult, terminal_tree
@@ -57,6 +57,10 @@ class FlexibleScheduler(Scheduler):
             results, fewer Dijkstra passes).  ``None`` — the default —
             defers to the ``REPRO_PATH_CACHE`` environment switch at
             schedule time.
+        use_csr: run shortest-path work on the array-native CSR kernel
+            (:mod:`repro.network.csr`) — byte-identical results, much
+            less per-edge Python overhead.  ``None`` defers to the
+            ``REPRO_CSR`` switch and numpy availability.
     """
 
     name = "flexible-mst"
@@ -66,6 +70,7 @@ class FlexibleScheduler(Scheduler):
         weights: Optional[AuxiliaryWeights] = None,
         min_rate_gbps: float = MIN_RATE_GBPS,
         use_cache: Optional[bool] = None,
+        use_csr: Optional[bool] = None,
     ) -> None:
         if min_rate_gbps <= 0:
             raise SchedulingError(
@@ -74,6 +79,7 @@ class FlexibleScheduler(Scheduler):
         self._weights = weights or AuxiliaryWeights()
         self._min_rate = min_rate_gbps
         self._use_cache = use_cache
+        self._use_csr = use_csr
 
     @property
     def weights(self) -> AuxiliaryWeights:
@@ -94,7 +100,14 @@ class FlexibleScheduler(Scheduler):
         try:
             if self._cache_enabled():
                 return routing.get_cache(network).terminal_tree(
-                    task.global_node, list(task.local_nodes), builder
+                    task.global_node,
+                    list(task.local_nodes),
+                    builder,
+                    csr=self._use_csr,
+                )
+            if csr.resolve(self._use_csr):
+                return csr.terminal_tree_csr(
+                    network, task.global_node, list(task.local_nodes), builder
                 )
             return terminal_tree(
                 network,
@@ -135,7 +148,7 @@ class FlexibleScheduler(Scheduler):
             if held >= demand - 1e-9:
                 rates[edge] = held
                 continue
-            rate = min(demand - held, network.residual_gbps(*edge))
+            rate = min(demand - held, link.residual_gbps(*edge))
             if held + rate < self._min_rate:
                 network.release_owner(task.task_id)
                 raise SchedulingError(
@@ -143,7 +156,7 @@ class FlexibleScheduler(Scheduler):
                     "capacity"
                 )
             if rate > 0:
-                network.reserve_edge(edge[0], edge[1], rate, task.task_id)
+                link.reserve(edge[0], edge[1], rate, task.task_id)
             rates[edge] = held + rate
         return rates
 

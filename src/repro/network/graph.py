@@ -40,6 +40,18 @@ class Network:
         self._topology_version = 0
         # Lazily attached by repro.network.routing.get_cache().
         self._path_cache = None
+        # Lazily attached by repro.network.csr.get_snapshot(): the flat
+        # array mirror of this topology, refreshed in place on link-state
+        # mutations and rebuilt when topology_version moves.
+        self._csr_snapshot = None
+        # (epoch, owner, result) memo for has_reservations(): the
+        # auxiliary cache-token probe asks twice per tree build with no
+        # mutation in between, and the answer is epoch-stable.
+        self._holds_memo: "tuple[int, str, bool] | None" = None
+        # Links currently holding at least one reservation (maintained
+        # by Link.reserve/release via the attached observer set), so
+        # owner scans touch only held links instead of every link.
+        self._reserved_links: "set[Link]" = set()
 
     # ------------------------------------------------------------------
     # Construction
@@ -92,6 +104,7 @@ class Network:
             raise TopologyError(f"duplicate link {u}-{v}")
         link = Link(u, v, capacity_gbps, distance_km=distance_km, latency_ms=latency_ms)
         link._epoch = self._epoch
+        link._reserved_reg = self._reserved_links
         self._epoch.bump()
         self._topology_version += 1
         self._links[self._key(u, v)] = link
@@ -138,10 +151,18 @@ class Network:
     def has_reservations(self, owner: str) -> bool:
         """True when ``owner`` holds rate anywhere in the network.
 
-        Early-exits on the first hit, so the common "fresh owner" probe
-        used by the auxiliary-graph cache token is cheap.
+        Early-exits on the first hit, and memoises the answer per
+        ``(epoch, owner)`` — the auxiliary-graph cache token and its
+        shareability probe ask back-to-back with no mutation in
+        between, so the second all-links scan is free.
         """
-        return any(link.holds(owner) for link in self._links.values())
+        epoch = self.epoch
+        memo = self._holds_memo
+        if memo is not None and memo[0] == epoch and memo[1] == owner:
+            return memo[2]
+        result = any(link.holds(owner) for link in self._reserved_links)
+        self._holds_memo = (epoch, owner, result)
+        return result
 
     @property
     def node_count(self) -> int:
@@ -242,7 +263,16 @@ class Network:
 
     def release_owner(self, owner: str) -> float:
         """Release everything ``owner`` holds anywhere in the network."""
-        return sum(link.release_owner(owner) for link in self._links.values())
+        reserved = self._reserved_links
+        if not reserved:
+            return 0.0
+        # Iterate in link insertion order (not set order) so the float
+        # total sums in the same order as a full-table scan would.
+        return sum(
+            link.release_owner(owner)
+            for link in self._links.values()
+            if link in reserved
+        )
 
     def owner_total_gbps(self, owner: str) -> float:
         """Summed directed-edge rate held by ``owner`` across the network."""

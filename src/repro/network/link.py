@@ -80,6 +80,18 @@ class Link:
         self._forced_failed = False
         self._endpoints_down = 0
         self._generation = 0
+        self._dir_generations: Dict[Tuple[str, str], int] = {
+            (u, v): 0,
+            (v, u): 0,
+        }
+        # Observer set owned by an attached CSR snapshot (see
+        # repro.network.csr.snapshot): mutated links add themselves so the
+        # snapshot can refresh only the touched overlay rows.
+        self._dirty: "set | None" = None
+        # Observer set owned by the containing Network: links holding any
+        # reservation register themselves so owner scans
+        # (has_reservations / release_owner) touch only held links.
+        self._reserved_reg: "set | None" = None
         self._epoch = MutationEpoch()
         self._capacity_gbps = float(capacity_gbps)
         self.distance_km = float(distance_km)
@@ -135,9 +147,36 @@ class Link:
         """
         return self._generation
 
+    def generation_of(self, src: str, dst: str) -> int:
+        """Monotone counter of state changes affecting ``src -> dst``.
+
+        Direction-scoped mutations (a reservation or release in one
+        direction) advance only that direction's counter; whole-link
+        mutations (failure, repair, capacity change, endpoint state)
+        advance both.  The routing cache keys its per-edge read log on
+        this counter, so a reverse-direction reservation no longer
+        invalidates forward-direction entries.
+        """
+        return self._dir_generations[self._direction(src, dst)]
+
     def _bump(self) -> None:
+        """Record a whole-link mutation (both directions affected)."""
         self._generation += 1
+        for direction in self._dir_generations:
+            self._dir_generations[direction] += 1
         self._epoch.bump()
+        dirty = self._dirty
+        if dirty is not None:
+            dirty.add(self)
+
+    def _bump_direction(self, direction: Tuple[str, str]) -> None:
+        """Record a mutation scoped to one direction of the link."""
+        self._generation += 1
+        self._dir_generations[direction] += 1
+        self._epoch.bump()
+        dirty = self._dirty
+        if dirty is not None:
+            dirty.add(self)
 
     @property
     def failed(self) -> bool:
@@ -227,7 +266,10 @@ class Link:
             )
         bucket = self._reservations[direction]
         bucket[owner] = bucket.get(owner, 0.0) + gbps
-        self._bump()
+        reg = self._reserved_reg
+        if reg is not None:
+            reg.add(self)
+        self._bump_direction(direction)
 
     def release(self, src: str, dst: str, owner: str) -> float:
         """Release everything ``owner`` holds in that direction.
@@ -238,17 +280,26 @@ class Link:
         direction = self._direction(src, dst)
         released = self._reservations[direction].pop(owner, 0.0)
         if released:
-            self._bump()
+            self._deregister_if_empty()
+            self._bump_direction(direction)
         return released
 
     def release_owner(self, owner: str) -> float:
         """Release the owner's reservations in *both* directions."""
         total = 0.0
         for direction in list(self._reservations):
-            total += self._reservations[direction].pop(owner, 0.0)
+            released = self._reservations[direction].pop(owner, 0.0)
+            if released:
+                total += released
+                self._bump_direction(direction)
         if total:
-            self._bump()
+            self._deregister_if_empty()
         return total
+
+    def _deregister_if_empty(self) -> None:
+        reg = self._reserved_reg
+        if reg is not None and not any(self._reservations.values()):
+            reg.discard(self)
 
     def reservations(self, src: str, dst: str) -> Iterator[Reservation]:
         """Iterate the live reservations in one direction."""

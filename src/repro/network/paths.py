@@ -132,6 +132,47 @@ class TreeResult:
         return len(self.path_to_root(node)) - 1
 
 
+@dataclass
+class ShortestPathTree:
+    """A full Dijkstra tree from one source under one weight function.
+
+    Defined here (not in :mod:`repro.network.routing`, which re-exports
+    it) so the array kernel (:mod:`repro.network.csr`) can build one
+    without importing the cache layer.
+
+    Attributes:
+        source: the tree's root.
+        distance: settled node -> least weight from the source.
+        previous: settled node -> predecessor on its shortest path.
+    """
+
+    source: str
+    distance: Dict[str, float]
+    previous: Dict[str, str]
+
+    def reaches(self, destination: str) -> bool:
+        return destination == self.source or destination in self.previous
+
+    def path_to(self, destination: str) -> PathResult:
+        """Extract the shortest path to ``destination``.
+
+        Identical to ``dijkstra(network, source, destination, weight)``
+        on the same network state.
+
+        Raises:
+            NoPathError: if the destination was unreachable.
+        """
+        if destination == self.source:
+            return PathResult(nodes=(self.source,), weight=0.0)
+        if destination not in self.previous:
+            raise NoPathError(self.source, destination)
+        nodes = [destination]
+        while nodes[-1] != self.source:
+            nodes.append(self.previous[nodes[-1]])
+        nodes.reverse()
+        return PathResult(nodes=tuple(nodes), weight=self.distance[destination])
+
+
 def dijkstra(
     network: Network,
     source: str,
@@ -195,11 +236,20 @@ def k_shortest_paths(
     destination: str,
     k: int,
     weight: Optional[WeightFn] = None,
+    *,
+    search: Optional[Callable[..., PathResult]] = None,
 ) -> List[PathResult]:
     """Yen's algorithm: up to ``k`` loop-free least-weight paths.
 
     Returns fewer than ``k`` paths when the graph does not contain that
     many distinct simple paths.
+
+    ``search`` injects the point-to-point solver used for the initial
+    path and every spur search — ``search(src, dst, banned_edges,
+    banned_nodes) -> PathResult`` — so the CSR kernel can drive this
+    exact control flow with its array Dijkstra.  The default wraps
+    :func:`dijkstra` with a ban-aware weight, as the algorithm always
+    did; any injected solver must be bit-identical to that default.
 
     Raises:
         NoPathError: if not even one path exists.
@@ -208,8 +258,22 @@ def k_shortest_paths(
         raise TopologyError(f"k must be > 0, got {k}")
     if weight is None:
         weight = latency_weight(network)
+    if search is None:
 
-    best = dijkstra(network, source, destination, weight)
+        def search(src, dst, banned_edges, banned_nodes):  # noqa: F811
+            if not banned_edges and not banned_nodes:
+                return dijkstra(network, src, dst, weight)
+
+            def spur_weight(a: str, b: str) -> float:
+                if (a, b) in banned_edges:
+                    return math.inf
+                if b in banned_nodes or a in banned_nodes:
+                    return math.inf
+                return weight(a, b)
+
+            return dijkstra(network, src, dst, spur_weight)
+
+    best = search(source, destination, set(), set())
     paths: List[PathResult] = [best]
     candidates: List[Tuple[float, int, PathResult]] = []
     counter = itertools.count()
@@ -230,15 +294,8 @@ def k_shortest_paths(
                     )
             banned_nodes = set(root_nodes[:-1])
 
-            def spur_weight(src: str, dst: str) -> float:
-                if (src, dst) in banned_edges:
-                    return math.inf
-                if dst in banned_nodes or src in banned_nodes:
-                    return math.inf
-                return weight(src, dst)
-
             try:
-                spur_path = dijkstra(network, spur_node, destination, spur_weight)
+                spur_path = search(spur_node, destination, banned_edges, banned_nodes)
             except NoPathError:
                 continue
             total_nodes = root_nodes[:-1] + spur_path.nodes

@@ -54,9 +54,11 @@ from types import MappingProxyType
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import NoPathError, TopologyError
+from .. import obs
 from .graph import Network
 from .paths import (
     PathResult,
+    ShortestPathTree,
     TreeResult,
     WeightFn,
     hop_weight,
@@ -64,8 +66,9 @@ from .paths import (
     latency_weight,
     tree_from_metric_closure,
 )
+from . import csr as csr_kernel
 
-#: A directed edge read record: (link, generation at read, weight value).
+#: A directed edge read record: (link, direction generation at read, value).
 ReadLog = Dict[Tuple[str, str], Tuple[Any, int, float]]
 
 #: Environment switch: set to 0/false/off to disable caching process-wide.
@@ -97,14 +100,18 @@ def recording_weight(network: Network, base: WeightFn, reads: ReadLog) -> Weight
 
     The one place the read-record format ``(link, generation, value)``
     is defined; every spec's ``recording_weight_fn`` delegates here so a
-    future format change (e.g. per-direction generations) has a single
-    home.
+    format change has a single home.  The recorded generation is the
+    link's *per-direction* counter
+    (:meth:`~repro.network.link.Link.generation_of`): a weight
+    evaluation reads only the queried direction's reservations, so a
+    reverse-direction reservation must not count as a change against
+    this record.
     """
 
     def weight(src: str, dst: str) -> float:
         value = base(src, dst)
         link = network.link(src, dst)
-        reads[(src, dst)] = (link, link.generation, value)
+        reads[(src, dst)] = (link, link.generation_of(src, dst), value)
         return value
 
     return weight
@@ -157,41 +164,9 @@ class HopWeightSpec:
 # Single-source shortest-path trees
 # ---------------------------------------------------------------------------
 
-@dataclass
-class ShortestPathTree:
-    """A full Dijkstra tree from one source under one weight function.
-
-    Attributes:
-        source: the tree's root.
-        distance: settled node -> least weight from the source.
-        previous: settled node -> predecessor on its shortest path.
-    """
-
-    source: str
-    distance: Dict[str, float]
-    previous: Dict[str, str]
-
-    def reaches(self, destination: str) -> bool:
-        return destination == self.source or destination in self.previous
-
-    def path_to(self, destination: str) -> PathResult:
-        """Extract the shortest path to ``destination``.
-
-        Identical to ``dijkstra(network, source, destination, weight)``
-        on the same network state.
-
-        Raises:
-            NoPathError: if the destination was unreachable.
-        """
-        if destination == self.source:
-            return PathResult(nodes=(self.source,), weight=0.0)
-        if destination not in self.previous:
-            raise NoPathError(self.source, destination)
-        nodes = [destination]
-        while nodes[-1] != self.source:
-            nodes.append(self.previous[nodes[-1]])
-        nodes.reverse()
-        return PathResult(nodes=tuple(nodes), weight=self.distance[destination])
+# ShortestPathTree is defined in repro.network.paths (so the CSR kernel
+# can build one without importing this cache layer) and re-exported from
+# here, its historical home.
 
 
 def sssp(network: Network, source: str, weight: WeightFn) -> ShortestPathTree:
@@ -302,6 +277,7 @@ class CacheStats:
     revalidations: int = 0
     invalidations: int = 0
     evictions: int = 0
+    repairs: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -310,6 +286,7 @@ class CacheStats:
             "revalidations": self.revalidations,
             "invalidations": self.invalidations,
             "evictions": self.evictions,
+            "repairs": self.repairs,
         }
 
     def snapshot(self) -> Mapping[str, int]:
@@ -336,13 +313,50 @@ class CacheStats:
 
 @dataclass
 class _Entry:
-    """One cached computation: its value (or raised error) and read log."""
+    """One cached computation: its value (or raised error) and read log.
+
+    ``endpoints`` names the query's source/destination nodes so pruning
+    after a node failure can drop entries anchored at the dead node by
+    containment instead of read-log revalidation.
+    """
 
     value: Any
     error: Optional[NoPathError]
     reads: ReadLog
     epoch: int
     topology_version: int
+    endpoints: Tuple[str, ...] = ()
+
+
+@dataclass
+class _CsrEntry:
+    """One CSR-kernel result: its value plus the weight array it used.
+
+    Instead of a per-edge read log, validity is judged against the
+    weight *array*: an equal array replays the identical array SSSP, and
+    for full trees the :func:`~repro.network.csr.tree_unaffected`
+    change-cut proves identity across many unequal-array deltas too
+    (``exact=False``).  ``token`` is kept so revalidation can rebuild
+    the current array without a live weight spec (that is what makes
+    orchestrator-time repair possible).
+
+    ``reads`` is always empty — present so diagnostics that walk cache
+    entries treat both entry kinds uniformly.
+    """
+
+    value: Any
+    error: Optional[NoPathError]
+    warray: Any
+    token: Hashable
+    epoch: int
+    topology_version: int
+    endpoints: Tuple[str, ...] = ()
+    exact: bool = False
+    reads: ReadLog = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.reads is None:
+            self.reads = {}
 
 
 class PathCache:
@@ -365,7 +379,11 @@ class PathCache:
             raise TopologyError(f"max_entries must be >= 1, got {max_entries}")
         self._network = network
         self._max_entries = max_entries
-        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # token -> (epoch, topology_version, weight array, weight list):
+        # the CSR weight arrays current entries are validated against,
+        # rebuilt vectorised once per epoch move per token.
+        self._warrays: Dict[Hashable, Tuple[int, int, Any, list]] = {}
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -389,34 +407,63 @@ class PathCache:
         self.stats.invalidations += len(self._entries)
         self._entries.clear()
 
-    def prune(self) -> int:
-        """Drop every entry that read a link whose generation has moved.
+    def prune(self, dead_nodes: Sequence[str] = ()) -> int:
+        """Drop stale entries; repair CSR entries that provably survive.
 
         Called by the orchestrator after failure/repair events so a long
         campaign with many faults does not accumulate dead entries; a
         lookup would lazily catch staleness anyway, pruning reclaims
-        memory eagerly.  Deliberately generation-strict (no weight
+        memory eagerly.
+
+        ``dead_nodes`` names nodes that just went down: any entry whose
+        source or destination set touches one is dropped by containment
+        — even if its read log never saw the dead node's links (an
+        unreachable-source tree reads nothing, yet must not serve a
+        "node exists and is isolated" answer for a node that is *down*).
+
+        Object-path entries are judged generation-strict (no weight
         revalidation): without a live spec in hand there is no weight
         function that is guaranteed current, and over-dropping is always
-        safe.  Returns how many entries were dropped.
+        safe.  CSR entries carry their token, so their current weight
+        array *can* be rebuilt here; entries the
+        :func:`~repro.network.csr.tree_unaffected` change-cut clears are
+        kept with the new array (counted in ``stats.repairs``) instead
+        of dropped.  Returns how many entries were dropped.
         """
+        dead = frozenset(dead_nodes)
         epoch = self._network.epoch
         version = self._network.topology_version
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if entry.topology_version != version
-            or (
-                entry.epoch != epoch
-                and any(
-                    link.generation != generation
-                    for link, generation, _value in entry.reads.values()
-                )
-            )
-        ]
+        snapshot = None
+        repaired = 0
+        stale = []
+        for key, entry in self._entries.items():
+            if dead and not dead.isdisjoint(entry.endpoints):
+                stale.append(key)
+                continue
+            if entry.topology_version != version:
+                stale.append(key)
+                continue
+            if entry.epoch == epoch:
+                continue
+            if isinstance(entry, _CsrEntry):
+                if snapshot is None:
+                    with obs.span("csr.repair", entries=len(self._entries)):
+                        snapshot = csr_kernel.get_snapshot(self._network)
+                if self._validate_csr(entry, snapshot):
+                    repaired += 1
+                else:
+                    stale.append(key)
+            elif any(
+                link.generation_of(src, dst) != generation
+                for (src, dst), (link, generation, _value) in entry.reads.items()
+            ):
+                stale.append(key)
         for key in stale:
             del self._entries[key]
         self.stats.invalidations += len(stale)
+        self.stats.repairs += repaired
+        if repaired:
+            obs.inc("csr.repair", repaired)
         return len(stale)
 
     # -- validation --------------------------------------------------------
@@ -443,7 +490,10 @@ class PathCache:
             return True
         weight = None
         for (src, dst), (link, generation, value) in entry.reads.items():
-            if link.generation == generation:
+            # Per-direction comparison: a reverse-direction reservation
+            # bumps only the (dst, src) counter and cannot have changed
+            # this record's value.
+            if link.generation_of(src, dst) == generation:
                 continue
             if weight is None:
                 self.stats.revalidations += 1
@@ -451,23 +501,88 @@ class PathCache:
             current = weight(src, dst)
             if current != value:
                 return False
-            entry.reads[(src, dst)] = (link, link.generation, current)
+            entry.reads[(src, dst)] = (link, link.generation_of(src, dst), current)
         entry.epoch = epoch
         return True
 
-    def _get(self, key: Hashable, spec: Any, compute) -> Any:
+    def _weight_arrays(self, snapshot: Any, token: Hashable):
+        """The current ``(array, list)`` weight pair for a token, memoised.
+
+        One vectorised rebuild per epoch move per token, shared by every
+        lookup and revalidation in between; returns ``(None, None)`` for
+        tokens the CSR weight builders cannot lower.
+        """
+        epoch = self._network.epoch
+        version = self._network.topology_version
+        cached = self._warrays.get(token)
+        if cached is not None and cached[0] == epoch and cached[1] == version:
+            return cached[2], cached[3]
+        array = csr_kernel.weight_array(snapshot, token)
+        if array is None:
+            return None, None
+        wlist = array.tolist()
+        self._warrays[token] = (epoch, version, array, wlist)
+        return array, wlist
+
+    def _validate_csr(self, entry: _CsrEntry, snapshot: Any) -> bool:
+        """True when a CSR entry still answers the current network state.
+
+        Equal epoch is a free hit.  Otherwise the token's weight array is
+        rebuilt (memoised) and compared: an element-equal array replays
+        the identical array computation; for tree entries the
+        :func:`~repro.network.csr.tree_unaffected` change-cut additionally
+        keeps entries whose array delta provably cannot move the tree.
+        A surviving entry adopts the new array and epoch.
+        """
+        if entry.topology_version != self._network.topology_version:
+            return False
+        epoch = self._network.epoch
+        if entry.epoch == epoch:
+            return True
+        new_array, _wlist = self._weight_arrays(snapshot, entry.token)
+        if new_array is None:
+            return False
+        self.stats.revalidations += 1
+        if entry.exact or entry.error is not None:
+            valid = bool((entry.warray == new_array).all())
+        else:
+            valid = csr_kernel.tree_unaffected(
+                snapshot, entry.value, entry.warray, new_array
+            )
+        if not valid:
+            return False
+        entry.warray = new_array
+        entry.epoch = epoch
+        return True
+
+    def _hit(self, key: Hashable, entry: Any) -> Any:
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        if entry.error is not None:
+            # Clear the stored traceback before re-raising: each raise
+            # appends a segment, and a shared instance raised on every
+            # hit would grow its chain (and pin caller frames) without
+            # bound.
+            raise entry.error.with_traceback(None)
+        return entry.value
+
+    def _get(
+        self,
+        key: Hashable,
+        spec: Any,
+        compute,
+        endpoints: Tuple[str, ...] = (),
+    ) -> Any:
         entry = self._entries.get(key)
         if entry is not None:
-            if self._validate(entry, spec):
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                if entry.error is not None:
-                    # Clear the stored traceback before re-raising: each
-                    # raise appends a segment, and a shared instance
-                    # raised on every hit would grow its chain (and pin
-                    # caller frames) without bound.
-                    raise entry.error.with_traceback(None)
-                return entry.value
+            if isinstance(entry, _CsrEntry):
+                # A REPRO_CSR flip mid-process: replace rather than try
+                # to revalidate across representations.
+                valid = False
+            else:
+                valid = self._validate(entry, spec)
+            if valid:
+                return self._hit(key, entry)
             del self._entries[key]
             self.stats.invalidations += 1
         self.stats.misses += 1
@@ -485,6 +600,7 @@ class PathCache:
                     reads=reads,
                     epoch=epoch,
                     topology_version=version,
+                    endpoints=endpoints,
                 ),
             )
             raise
@@ -496,6 +612,75 @@ class PathCache:
                 reads=reads,
                 epoch=epoch,
                 topology_version=version,
+                endpoints=endpoints,
+            ),
+        )
+        return value
+
+    def _get_csr(
+        self,
+        key: Hashable,
+        spec: Any,
+        snapshot: Any,
+        array: Any,
+        wlist: list,
+        token: Hashable,
+        *,
+        endpoints: Tuple[str, ...],
+        exact: bool,
+        compute,
+    ) -> Any:
+        """CSR-kernel twin of :meth:`_get`.
+
+        ``compute`` is a no-argument callable running the array kernel
+        over the already-refreshed ``snapshot``/``wlist``; the stored
+        entry is validated by weight-array comparison instead of a read
+        log.  An existing object-path entry under the same key (a
+        ``REPRO_CSR`` flip) is revalidated with ``spec`` and served
+        as-is if still good — both kernels are byte-identical, so mixing
+        is harmless.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            if isinstance(entry, _CsrEntry):
+                valid = self._validate_csr(entry, snapshot)
+            else:
+                valid = self._validate(entry, spec)
+            if valid:
+                return self._hit(key, entry)
+            del self._entries[key]
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        epoch = self._network.epoch
+        version = self._network.topology_version
+        try:
+            value = compute()
+        except NoPathError as exc:
+            self._store(
+                key,
+                _CsrEntry(
+                    value=None,
+                    error=exc,
+                    warray=array,
+                    token=token,
+                    epoch=epoch,
+                    topology_version=version,
+                    endpoints=endpoints,
+                    exact=True,
+                ),
+            )
+            raise
+        self._store(
+            key,
+            _CsrEntry(
+                value=value,
+                error=None,
+                warray=array,
+                token=token,
+                epoch=epoch,
+                topology_version=version,
+                endpoints=endpoints,
+                exact=exact,
             ),
         )
         return value
@@ -516,6 +701,7 @@ class PathCache:
         *,
         token: Optional[Hashable] = None,
         shareable: Optional[bool] = None,
+        csr: Optional[bool] = None,
     ) -> ShortestPathTree:
         """The full single-source tree from ``source`` under ``spec``.
 
@@ -523,8 +709,11 @@ class PathCache:
         one spec (e.g. :meth:`terminal_tree`) evaluate
         ``spec.cache_token()`` / ``spec.shareable()`` — each an
         all-links scan for auxiliary weights — once instead of per
-        source.
+        source.  ``csr`` selects the array kernel (``None`` defers to
+        ``REPRO_CSR`` and numpy availability); both kernels return
+        byte-identical trees.
         """
+        use_csr = csr_kernel.resolve(csr)
         if shareable is None:
             shareable = spec.shareable()
         if not shareable:
@@ -533,44 +722,147 @@ class PathCache:
             # that already holds capacity): skip recording, storage, and
             # LRU traffic entirely and just run the computation.
             self.stats.misses += 1
+            if use_csr:
+                return csr_kernel.sssp_csr(self._network, source, spec)
             return sssp(self._network, source, spec.weight_fn())
         if token is None:
             token = spec.cache_token()
         key = ("sssp", source, token)
+        if use_csr:
+            snapshot = csr_kernel.get_snapshot(self._network)
+            array, wlist = self._weight_arrays(snapshot, token)
+            if array is not None:
+                return self._get_csr(
+                    key,
+                    spec,
+                    snapshot,
+                    array,
+                    wlist,
+                    token,
+                    endpoints=(source,),
+                    exact=False,
+                    compute=lambda: csr_kernel.sssp_tree(
+                        snapshot, source, wlist
+                    ),
+                )
         return self._get(
-            key, spec, lambda weight: sssp(self._network, source, weight)
+            key,
+            spec,
+            lambda weight: sssp(self._network, source, weight),
+            endpoints=(source,),
         )
 
-    def shortest_path(self, source: str, destination: str, spec: Any) -> PathResult:
+    def shortest_path(
+        self,
+        source: str,
+        destination: str,
+        spec: Any,
+        *,
+        csr: Optional[bool] = None,
+    ) -> PathResult:
         """Bit-identical replacement for a point-to-point Dijkstra query."""
         self._network.node(destination)
-        return self.sssp(source, spec).path_to(destination)
+        return self.sssp(source, spec, csr=csr).path_to(destination)
+
+    def batched_sssp(
+        self,
+        sources: Sequence[str],
+        spec: Any,
+        *,
+        csr: Optional[bool] = None,
+    ) -> Dict[str, ShortestPathTree]:
+        """One tree per distinct source, sharing a single spec evaluation.
+
+        The multi-source entry point schedulers use to price a whole
+        candidate set in one call: the spec's token/shareable scans, the
+        snapshot refresh, and the weight-array build all happen once,
+        and each source costs one (cached) array SSSP.  Returns
+        ``{source: tree}`` in first-occurrence order.
+        """
+        shareable = spec.shareable()
+        token = spec.cache_token() if shareable else None
+        trees: Dict[str, ShortestPathTree] = {}
+        with obs.span(
+            "csr.batch_sssp",
+            sources=len(sources),
+            engine="csr" if csr_kernel.resolve(csr) else "object",
+        ):
+            for source in sources:
+                if source not in trees:
+                    trees[source] = self.sssp(
+                        source, spec, token=token, shareable=shareable, csr=csr
+                    )
+        obs.inc("csr.batch_sssp")
+        return trees
 
     def k_shortest_paths(
-        self, source: str, destination: str, k: int, spec: Any
+        self,
+        source: str,
+        destination: str,
+        k: int,
+        spec: Any,
+        *,
+        csr: Optional[bool] = None,
     ) -> List[PathResult]:
         """Cached Yen's algorithm under ``spec``'s base weight.
 
         The spur searches read only the base weight (bans are derived
         from earlier outputs, themselves functions of recorded reads),
         so the standard read-log validity argument covers the whole run.
+        Under the CSR kernel the identical control flow runs with array
+        spur searches; entries are validated by exact weight-array
+        equality (a ban-constrained search has no change-cut shortcut).
         """
+        use_csr = csr_kernel.resolve(csr)
         if not spec.shareable():
             self.stats.misses += 1
+            if use_csr:
+                return csr_kernel.k_shortest_paths_csr(
+                    self._network, source, destination, k, spec
+                )
             return k_shortest_paths(
                 self._network, source, destination, k, spec.weight_fn()
             )
-        key = ("ksp", source, destination, k, spec.cache_token())
+        token = spec.cache_token()
+        key = ("ksp", source, destination, k, token)
+        if use_csr:
+            snapshot = csr_kernel.get_snapshot(self._network)
+            array, wlist = self._weight_arrays(snapshot, token)
+            if array is not None:
+                return self._get_csr(
+                    key,
+                    spec,
+                    snapshot,
+                    array,
+                    wlist,
+                    token,
+                    endpoints=(source, destination),
+                    exact=True,
+                    compute=lambda: k_shortest_paths(
+                        self._network,
+                        source,
+                        destination,
+                        k,
+                        csr_kernel.array_edge_weight(snapshot, wlist),
+                        search=csr_kernel.array_search(snapshot, wlist),
+                    ),
+                )
         return self._get(
             key,
             spec,
             lambda weight: k_shortest_paths(
                 self._network, source, destination, k, weight
             ),
+            endpoints=(source, destination),
         )
 
     def terminal_tree(
-        self, root: str, terminals: Sequence[str], spec: Any
+        self,
+        root: str,
+        terminals: Sequence[str],
+        spec: Any,
+        *,
+        csr: Optional[bool] = None,
     ) -> TreeResult:
         """The flexible scheduler's tree via cached single-source passes.
 
@@ -589,15 +881,33 @@ class PathCache:
         # is not mutated during this read-only construction, so the
         # answers cannot change between sources.
         shareable = spec.shareable()
+        if not shareable and csr_kernel.resolve(csr):
+            # Unshareable specs bypass storage anyway; the kernel's
+            # uncached construction builds the weight array once for all
+            # T-1 passes instead of once per source.  Miss accounting
+            # mirrors the per-source loop below.
+            self.stats.misses += len(terminal_list) - 1
+            return csr_kernel.terminal_tree_csr(
+                self._network, root, terminals, spec
+            )
         token = spec.cache_token() if shareable else None
         closure: Dict[Tuple[str, str], PathResult] = {}
         for i, a in enumerate(terminal_list[:-1]):
-            tree = self.sssp(a, spec, token=token, shareable=shareable)
+            tree = self.sssp(a, spec, token=token, shareable=shareable, csr=csr)
             for b in terminal_list[i + 1 :]:
                 closure[(a, b)] = tree.path_to(b)
-        return tree_from_metric_closure(
-            root, terminal_list, closure, spec.weight_fn()
-        )
+        # The finisher only reads edge weights for its final sum; when
+        # the spec lowers to an array, the array view returns the same
+        # float64s as the scalar weight fn without per-edge link scans.
+        weight = None
+        if shareable and csr_kernel.resolve(csr):
+            snapshot = csr_kernel.get_snapshot(self._network)
+            array, wlist = self._weight_arrays(snapshot, token)
+            if array is not None:
+                weight = csr_kernel.array_edge_weight(snapshot, wlist)
+        if weight is None:
+            weight = spec.weight_fn()
+        return tree_from_metric_closure(root, terminal_list, closure, weight)
 
 
 # ---------------------------------------------------------------------------

@@ -284,6 +284,20 @@ def register_builtin_families() -> None:
             tags=("wan", "seeded", "hubs"),
         ),
         TopologyFamily(
+            name="scale-free-5k",
+            description="Barabási–Albert router graph at N=5000 (scale regime)",
+            builder=_build_scale_free,
+            schema=(
+                ParamSpec("n_routers", 5000, "router count", minimum=2),
+                ParamSpec("m_links", 2, "attachments per new router", minimum=1),
+                _SEED,
+                _CAPACITY,
+                ParamSpec("mean_span_km", 30.0, "mean drawn span length", minimum=0.001),
+                _SERVERS,
+            ),
+            tags=("wan", "seeded", "hubs", "scale"),
+        ),
+        TopologyFamily(
             name="fat-tree",
             description="k-ary fat-tree datacenter fabric (k even)",
             builder=_build_fat_tree,

@@ -271,7 +271,7 @@ class Orchestrator:
         """Move the control-plane clock forward (event log timestamps)."""
         self._clock_ms = max(self._clock_ms, time_ms)
 
-    def _prune_path_cache(self) -> None:
+    def _prune_path_cache(self, dead_nodes: "tuple[str, ...]" = ()) -> None:
         """Eagerly drop routing-cache entries made stale by a topology event.
 
         Failures and repairs change weights on the affected links; every
@@ -279,11 +279,17 @@ class Orchestrator:
         cache would notice lazily on the next lookup, but campaigns with
         long fault timelines reschedule in bursts right after each event
         — pruning here keeps memory bounded and the post-event lookups
-        cheap.
+        cheap (CSR-kernel entries the change-cut clears are repaired in
+        place rather than dropped).
+
+        ``dead_nodes`` names devices that just went down: entries whose
+        source or terminal set contains one are dropped by containment,
+        covering results that never read any of the dead node's links
+        (e.g. a tree rooted at the now-dead node).
         """
         cache = routing.peek_cache(self.network)
         if cache is not None:
-            cache.prune()
+            cache.prune(dead_nodes=dead_nodes)
 
     def handle_link_failure(self, u: str, v: str) -> Dict[str, bool]:
         """Fail a link and repair every running task routed across it.
@@ -361,7 +367,7 @@ class Orchestrator:
         }
         affected |= hosted
         self.network.fail_node(name)
-        self._prune_path_cache()
+        self._prune_path_cache(dead_nodes=(name,))
         self.database.log(
             self._clock_ms,
             f"node {name} failed; {len(affected)} tasks affected",

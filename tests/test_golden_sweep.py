@@ -61,3 +61,13 @@ def test_golden_matches_with_cache_disabled(name, tmp_path, monkeypatch):
     produced = tmp_path / f"{name}.jsonl"
     run_sweep(GOLDEN_SWEEPS[name], jsonl_path=str(produced))
     assert produced.read_bytes() == golden.read_bytes()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SWEEPS))
+def test_golden_matches_with_csr_disabled(name, tmp_path, monkeypatch):
+    """The CSR-kernel default and REPRO_CSR=0 pin the same bytes."""
+    monkeypatch.setenv("REPRO_CSR", "0")
+    golden = GOLDEN_DIR / f"{name}.jsonl"
+    produced = tmp_path / f"{name}.jsonl"
+    run_sweep(GOLDEN_SWEEPS[name], jsonl_path=str(produced))
+    assert produced.read_bytes() == golden.read_bytes()

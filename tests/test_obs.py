@@ -357,6 +357,7 @@ class TestCacheStats:
             "revalidations": 0,
             "invalidations": 0,
             "evictions": 1,
+            "repairs": 0,
         }
 
     def test_delta_from_empty_is_absolute(self):

@@ -13,7 +13,10 @@ connected topologies with random interleaved mutations:
   release / fail / restore mutations leaves cached results byte-equal
   to a fresh uncached computation;
 * ``sssp`` agrees with point-to-point Dijkstra on every destination,
-  and ``multi_source_distances`` equals the min over per-source trees.
+  and ``multi_source_distances`` equals the min over per-source trees;
+* the CSR array kernel is byte-identical to the object kernel on every
+  query, under any interleaving of mutations, and a ``prune()``-repaired
+  CSR cache entry equals recomputation from scratch.
 """
 
 from __future__ import annotations
@@ -25,6 +28,8 @@ import pytest
 pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import NoPathError
+from repro.network import csr
 from repro.network.auxiliary import AuxiliaryGraphBuilder
 from repro.network.graph import Network
 from repro.network.node import NodeKind
@@ -228,3 +233,92 @@ class TestCacheTransparency:
                     dijkstra(net, root, terminals[0])
             else:
                 assert cached_path == dijkstra(net, root, terminals[0])
+
+
+def _apply_mutation(net, links, action, rng, owners=("w1", "w2")):
+    """One step of the mutation state machine (shared with cache tests)."""
+    link = rng.choice(links)
+    owner = rng.choice(list(owners))
+    if action == "reserve":
+        free = link.residual_gbps(link.u, link.v)
+        if not link.failed and free > 1.0:
+            link.reserve(link.u, link.v, free / 2.0, owner)
+    elif action == "release":
+        link.release_owner(owner)
+    elif action == "fail":
+        net.fail_link(link.u, link.v)
+    else:
+        net.restore_link(link.u, link.v)
+
+
+@pytest.mark.skipif(not csr.HAVE_NUMPY, reason="numpy unavailable")
+class TestCsrObjectEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        graphs_with_terminals(),
+        st.lists(
+            st.tuples(_mutations, st.randoms(use_true_random=False)),
+            max_size=6,
+        ),
+    )
+    def test_csr_matches_object_under_mutations(self, case, script):
+        """Array and object kernels stay byte-identical through churn."""
+        net, root, terminals = case
+        links = list(net.links())
+        for action, rng in script:
+            _apply_mutation(net, links, action, rng)
+            spec = LatencyWeightSpec(net)
+            array_tree = csr.sssp_csr(net, root, spec)
+            object_tree = sssp(net, root, spec.weight_fn())
+            assert list(array_tree.distance.items()) == list(
+                object_tree.distance.items()
+            )
+            assert list(array_tree.previous.items()) == list(
+                object_tree.previous.items()
+            )
+            builder = AuxiliaryGraphBuilder(net, demand_gbps=2.0, owner="q")
+            try:
+                array_t = csr.terminal_tree_csr(net, root, terminals, builder)
+            except NoPathError:
+                with pytest.raises(NoPathError):
+                    terminal_tree(net, root, terminals, builder.weight_fn())
+            else:
+                fresh = terminal_tree(
+                    net, root, terminals, builder.weight_fn()
+                )
+                assert array_t.parent == fresh.parent
+                assert array_t.weight == fresh.weight
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        graphs_with_terminals(),
+        st.lists(
+            st.tuples(_mutations, st.randoms(use_true_random=False)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_incremental_repair_matches_from_scratch(self, case, script):
+        """A prune()-repaired CSR entry answers like a fresh computation.
+
+        Primes the cache with CSR trees, then after every mutation runs
+        the orchestrator's eager prune (the repair path) and checks each
+        surviving or recomputed entry against an uncached object SSSP —
+        as mappings, since a repaired tree keeps its original discovery
+        order.
+        """
+        net, root, terminals = case
+        cache = PathCache(net)
+        spec = LatencyWeightSpec(net)
+        sources = list(dict.fromkeys([root, *terminals]))
+        for source in sources:
+            cache.sssp(source, spec, csr=True)
+        links = list(net.links())
+        for action, rng in script:
+            _apply_mutation(net, links, action, rng)
+            cache.prune()
+            for source in sources:
+                cached = cache.sssp(source, spec, csr=True)
+                fresh = sssp(net, source, spec.weight_fn())
+                assert cached.distance == fresh.distance
+                assert cached.previous == fresh.previous

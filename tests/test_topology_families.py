@@ -42,6 +42,7 @@ SMALL_PARAMS = {
     "metro-ring": {"n_sites": 4},
     "spine-leaf": {"n_spines": 2, "n_leaves": 3},
     "scale-free": {"n_routers": 10},
+    "scale-free-5k": {"n_routers": 12},
     "random-geometric": {"n_routers": 8},
     "waxman": {"n_routers": 8},
     "fat-tree": {"k": 2},
