@@ -1,4 +1,4 @@
-.PHONY: test bench bench-smoke bench-csr bench-verify smoke sweep-smoke topo-smoke obs-smoke properties all
+.PHONY: test bench bench-smoke bench-csr bench-verify smoke sweep-smoke topo-smoke obs-smoke traces-smoke properties all
 
 # Tier-1: the full test suite (pyproject.toml supplies pythonpath/testpaths).
 test:
@@ -90,5 +90,27 @@ topo-smoke:
 		--set n_tasks=2 --set sites_per_region=3 --set backbone_routers=4 \
 		--set horizon_ms=20000
 	rm -f .topo-smoke.csv
+
+# Trace-workload smoke: synthesise the same MAWI-like trace twice (cmp
+# proves the synthesiser is seed-stable), show it, replay it through the
+# pinned trace+SRLG campaign twice (cmp proves the whole replay —
+# arrivals, deadline columns, forecast drains, SRLG accounting — is
+# byte-stable), and sweep the deadline scenario once for the columns.
+traces-smoke:
+	PYTHONPATH=src python -m repro.cli traces synth .traces-smoke-a.json \
+		--seed 3 --epochs 12
+	PYTHONPATH=src python -m repro.cli traces synth .traces-smoke-b.json \
+		--seed 3 --epochs 12
+	cmp .traces-smoke-a.json .traces-smoke-b.json
+	PYTHONPATH=src python -m repro.cli traces show .traces-smoke-a.json
+	PYTHONPATH=src python -m repro.cli scenarios sweep trace-srlg-campaign \
+		--set trace_epochs=8 --jsonl .traces-smoke-a.jsonl
+	PYTHONPATH=src python -m repro.cli scenarios sweep trace-srlg-campaign \
+		--set trace_epochs=8 --jsonl .traces-smoke-b.jsonl
+	cmp .traces-smoke-a.jsonl .traces-smoke-b.jsonl
+	PYTHONPATH=src python -m repro.cli scenarios sweep interdc-deadlines \
+		--set n_tasks=4
+	rm -f .traces-smoke-a.json .traces-smoke-b.json \
+		.traces-smoke-a.jsonl .traces-smoke-b.jsonl
 
 all: test bench

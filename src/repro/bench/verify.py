@@ -139,6 +139,18 @@ FLOORS: List[Floor] = [
         "csr", "scale_free_5k.scheduled", 3,
         doc="the N=5000 scale-free regime builds and schedules",
     ),
+    Floor(
+        "traces", "identical", 1,
+        doc="trace+SRLG replay byte-identical between serial and pool",
+    ),
+    Floor(
+        "traces", "srlg_cuts", 1,
+        doc="the pinned replay actually exercises correlated cuts",
+    ),
+    Floor(
+        "traces", "deadline_rows", 1,
+        doc="inter-DC sweeps carry the deadline-miss columns",
+    ),
     # -- timing: full records only, relaxed by machine class ------------
     Floor(
         "obs", "off_overhead_pct", 2.0, op="<=", timing=True,
@@ -167,6 +179,10 @@ FLOORS: List[Floor] = [
     Floor(
         "topologies", "waxman.builds_per_s", 25.0, timing=True,
         doc="Waxman build rate (reference baseline 221/s)",
+    ),
+    Floor(
+        "traces", "replay_runs_per_s", 2.0, timing=True,
+        doc="trace+SRLG campaign replay rate (reference baseline 16/s)",
     ),
 ]
 

@@ -32,6 +32,12 @@ the generators scenarios build their fabrics from::
     repro topologies build multi-metro-wan --set n_regions=2 --seed 3
     repro topologies build clos --set oversubscription=4 --save clos.json
 
+The ``traces`` subcommand synthesises and inspects the per-epoch
+traffic traces the ``trace`` workload family replays::
+
+    repro traces synth mawi.json --seed 3 --epochs 48
+    repro traces show mawi.json
+
 The ``bench`` subcommand is the unified benchmark harness: it discovers
 every registered ``benchmarks/test_bench_*`` suite, runs them with one
 command, appends machine-tagged records to ``BENCH_HISTORY.jsonl``,
@@ -382,6 +388,124 @@ def build_topologies_parser() -> argparse.ArgumentParser:
         help="write the built node and link sets as JSON to PATH",
     )
     return parser
+
+
+def build_traces_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro traces",
+        description=(
+            "synthesise and inspect the per-epoch traffic traces the "
+            "'trace' workload family replays"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser(
+        "synth",
+        help="synthesise a MAWI-like trace and write it to a file",
+        description=(
+            "Draws the deterministic diurnal × heavy-tailed series for "
+            "the given knobs and seed, and writes it as .json or .csv — "
+            "the same formats 'trace_path' scenario params replay."
+        ),
+    )
+    synth.add_argument("path", help="output file; extension picks the format")
+    synth.add_argument("--seed", type=int, default=0, help="master seed")
+    synth.add_argument(
+        "--epochs", type=int, default=24, help="number of epochs"
+    )
+    synth.add_argument(
+        "--epoch-ms", type=float, default=1_000.0, help="epoch width in ms"
+    )
+    synth.add_argument(
+        "--mean-arrivals",
+        type=float,
+        default=2.0,
+        help="mean task arrivals per epoch",
+    )
+    synth.add_argument(
+        "--mean-demand-gbps",
+        type=float,
+        default=10.0,
+        help="mean per-task demand",
+    )
+    synth.add_argument(
+        "--pareto-alpha",
+        type=float,
+        default=1.8,
+        help="burstiness tail exponent (> 1)",
+    )
+    synth.add_argument(
+        "--diurnal-amplitude",
+        type=float,
+        default=0.6,
+        help="day/night swing in [0, 1)",
+    )
+
+    show = sub.add_parser(
+        "show",
+        help="load a trace file and summarise it",
+        description=(
+            "Prints the series' shape and a per-epoch arrivals/demand "
+            "table, so a capture can be sanity-checked before a sweep "
+            "replays it."
+        ),
+    )
+    show.add_argument("path", help="a .json or .csv trace file")
+    return parser
+
+
+def _traces_main(argv: List[str]) -> int:
+    """The ``repro traces`` subcommand: synth / show."""
+    from .errors import ConfigurationError
+    from .scenarios.traces import (
+        SynthConfig,
+        load_trace,
+        save_trace,
+        synthesize_mawi,
+    )
+    from .sim.rng import RandomStreams
+
+    args = build_traces_parser().parse_args(argv)
+    if args.command == "synth":
+        try:
+            config = SynthConfig(
+                epochs=args.epochs,
+                epoch_ms=args.epoch_ms,
+                mean_arrivals=args.mean_arrivals,
+                mean_demand_gbps=args.mean_demand_gbps,
+                pareto_alpha=args.pareto_alpha,
+                diurnal_amplitude=args.diurnal_amplitude,
+            )
+            rng = RandomStreams(args.seed).stream("workload/trace-synth")
+            series = synthesize_mawi(config, rng)
+            save_trace(series, args.path)
+        except ConfigurationError as exc:
+            logger.error("%s", exc)
+            return 2
+        print(
+            f"{series.name}: {series.n_epochs} epochs x "
+            f"{series.epoch_ms:g} ms, {series.total_tasks} tasks"
+        )
+        logger.info("saved trace to %s", args.path)
+        return 0
+    try:
+        series = load_trace(args.path)
+    except ConfigurationError as exc:
+        logger.error("%s", exc)
+        return 2
+    print(
+        f"{series.name}: {series.n_epochs} epochs x {series.epoch_ms:g} ms "
+        f"({series.horizon_ms:g} ms horizon), {series.total_tasks} tasks"
+    )
+    peak = max(series.arrivals)
+    print("epoch  arrivals  demand_gbps")
+    for index, (count, demand) in enumerate(
+        zip(series.arrivals, series.demand_gbps)
+    ):
+        bar = "#" * (count * 20 // peak if peak else 0)
+        print(f"{index:>5}  {count:>8}  {demand:>11.3f}  {bar}")
+    return 0
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -1055,6 +1179,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _scenarios_main(argv[1:])
     if argv and argv[0] == "topologies":
         return _topologies_main(argv[1:])
+    if argv and argv[0] == "traces":
+        return _traces_main(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
     if argv and argv[0] == "obs":

@@ -66,12 +66,18 @@ class CampaignResult:
         availability: per-run fault/availability metrics when a fault
             injector played a timeline during the run (None otherwise);
             see :meth:`repro.resilience.AvailabilityAccountant.metrics`.
+        deadline_tasks: tasks that carried a completion deadline.
+        deadline_misses: deadline tasks that finished past
+            ``arrival_ms + deadline_ms`` — or never finished at all
+            (blocked or unfinished deadline tasks count as misses).
     """
 
     outcomes: Dict[str, TaskOutcome]
     makespan_ms: float
     blocked: int
     availability: Optional[Dict[str, float]] = None
+    deadline_tasks: int = 0
+    deadline_misses: int = 0
 
     @property
     def completed(self) -> int:
@@ -212,11 +218,25 @@ class CampaignRunner:
         if self._injector is not None:
             self._injector.finalize(sim.now)
             availability = self._injector.accountant.metrics()
+        deadline_tasks = 0
+        deadline_misses = 0
+        for task in self._workload:
+            if task.deadline_ms is None:
+                continue
+            deadline_tasks += 1
+            outcome = outcomes[task.task_id]
+            if (
+                outcome.completed_ms is None
+                or outcome.completed_ms > task.arrival_ms + task.deadline_ms
+            ):
+                deadline_misses += 1
         return CampaignResult(
             outcomes=outcomes,
             makespan_ms=max(finish_times) if finish_times else sim.now,
             blocked=blocked,
             availability=availability,
+            deadline_tasks=deadline_tasks,
+            deadline_misses=deadline_misses,
         )
 
 

@@ -411,6 +411,124 @@ class Orchestrator:
         self._prune_path_cache()
         self.database.log(self._clock_ms, f"node {name} restored")
 
+    def handle_link_drain(self, u: str, v: str) -> Dict[str, bool]:
+        """Proactively drain a span ahead of a forecast failure.
+
+        The link is taken out of service *now* — same mechanism as a
+        failure, so the scheduler immediately stops considering it — and
+        every running task routed across it is moved onto the rest of
+        the fabric while the span is still nominally healthy.  When the
+        forecast fault then lands, nothing is left on the span to
+        interrupt.  A no-op when the link is already down (an earlier
+        fault beat the forecast).
+
+        Returns:
+            affected task id -> True if drained off, False if blocked.
+        """
+        link = self.network.link(u, v)
+        if link.failed:
+            self.database.log(
+                self._clock_ms, f"link {u}-{v} drain skipped: already down"
+            )
+            return {}
+        affected = [
+            owner
+            for owner in self.network.owners_on_link(u, v)
+            if owner in {r.task.task_id for r in self.database.running()}
+        ]
+        self.network.fail_link(u, v)
+        self._prune_path_cache()
+        self.database.log(
+            self._clock_ms,
+            f"link {u}-{v} draining ahead of forecast fault; "
+            f"{len(affected)} tasks to move",
+        )
+        outcomes: Dict[str, bool] = {}
+        for task_id in affected:
+            record = self.database.record(task_id)
+            assert record.schedule is not None
+            self.scheduler.release(record.schedule, self.network)
+            self.sdn.remove(task_id)
+            try:
+                record.schedule = self.scheduler.schedule(record.task, self.network)
+            except SchedulingError as exc:
+                self._destroy_containers(record.task)
+                record.schedule = None
+                record.status = TaskStatus.BLOCKED
+                outcomes[task_id] = False
+                self.database.log(
+                    self._clock_ms, f"{task_id}: blocked during drain: {exc}"
+                )
+                continue
+            self.sdn.install(record.schedule)
+            record.reschedules += 1
+            outcomes[task_id] = True
+            self.database.log(self._clock_ms, f"{task_id}: drained off {u}-{v}")
+        return outcomes
+
+    def handle_link_capacity(
+        self, u: str, v: str, capacity_gbps: float
+    ) -> Dict[str, bool]:
+        """Change a live link's capacity (partial degradation / recovery).
+
+        Shrinking below current use evicts running tasks off the span —
+        in sorted owner order, one at a time, until the remaining
+        reservations fit — and re-runs each through the scheduler, which
+        may legitimately re-place it on the degraded span at a rate that
+        fits.  Background flows are never evicted; a span kept
+        oversubscribed by unmovable flows is left carrying them (the
+        reservation invariant is enforced at admission, not
+        retroactively).  Growing capacity never moves anybody:
+        re-optimisation is the rescheduling policy's job.
+
+        Returns:
+            evicted task id -> True if re-scheduled, False if blocked.
+        """
+        link = self.network.link(u, v)
+        link.capacity_gbps = capacity_gbps
+        self._prune_path_cache()
+        self.database.log(
+            self._clock_ms,
+            f"link {u}-{v} capacity set to {capacity_gbps:g} Gbps",
+        )
+        outcomes: Dict[str, bool] = {}
+        while (
+            link.used_gbps(u, v) > capacity_gbps + 1e-9
+            or link.used_gbps(v, u) > capacity_gbps + 1e-9
+        ):
+            running = {r.task.task_id: r for r in self.database.running()}
+            movable = [
+                owner
+                for owner in self.network.owners_on_link(u, v)
+                if owner in running
+            ]
+            if not movable:
+                break
+            task_id = movable[0]
+            record = running[task_id]
+            assert record.schedule is not None
+            self.scheduler.release(record.schedule, self.network)
+            self.sdn.remove(task_id)
+            try:
+                record.schedule = self.scheduler.schedule(record.task, self.network)
+            except SchedulingError as exc:
+                self._destroy_containers(record.task)
+                record.schedule = None
+                record.status = TaskStatus.BLOCKED
+                outcomes[task_id] = False
+                self.database.log(
+                    self._clock_ms,
+                    f"{task_id}: blocked after degrade of {u}-{v}: {exc}",
+                )
+                continue
+            self.sdn.install(record.schedule)
+            record.reschedules += 1
+            outcomes[task_id] = True
+            self.database.log(
+                self._clock_ms, f"{task_id}: moved off degraded {u}-{v}"
+            )
+        return outcomes
+
     # ------------------------------------------------------------------
     # Batch driving
     # ------------------------------------------------------------------

@@ -12,7 +12,13 @@ fabric once at t=0; this package makes failure *dynamics* first-class:
   tasks are re-scheduled (or blocked) mid-campaign;
 * :class:`AvailabilityAccountant` — reduces the run to availability /
   downtime / interruption / time-to-recover metrics carried by sweep
-  rows.
+  rows;
+* :func:`derive_srlgs` / :class:`SharedRiskGroup` — shared-risk link
+  groups clustered from the topology's coordinates, so one conduit cut
+  downs every co-located span; profiles may also run partial capacity
+  degradation (a span drops to a fraction, not to zero) and failure
+  *forecasts* the orchestrator drains ahead of (see
+  :class:`FaultProfile`).
 
 Quick tour::
 
@@ -29,6 +35,7 @@ from .accounting import AvailabilityAccountant
 from .injector import FaultInjector
 from .processes import (
     FAIL,
+    FORECAST,
     REPAIR,
     FaultEvent,
     FaultTimeline,
@@ -37,9 +44,11 @@ from .processes import (
     node_candidates,
 )
 from .profile import LAWS, TUNABLE_FIELDS, FaultProfile
+from .srlg import SharedRiskGroup, cluster_nodes, derive_srlgs
 
 __all__ = [
     "FAIL",
+    "FORECAST",
     "REPAIR",
     "LAWS",
     "TUNABLE_FIELDS",
@@ -48,7 +57,10 @@ __all__ = [
     "FaultInjector",
     "FaultProfile",
     "FaultTimeline",
+    "SharedRiskGroup",
     "build_timeline",
+    "cluster_nodes",
+    "derive_srlgs",
     "link_candidates",
     "node_candidates",
 ]

@@ -22,6 +22,14 @@ class AvailabilityAccountant:
         node_population: nodes the fault process covers.
         horizon_ms: the fault-generation horizon; used as the component-
             time denominator when the run ends earlier.
+        track_srlg: emit the ``srlg_cuts`` metric (SRLG process active).
+        track_degrade: emit partial-degradation metrics.
+        track_forecast: emit forecast-drain metrics.
+
+    The tracking flags gate *metric emission only* — they keep rows of
+    profiles without the corresponding process byte-stable while letting
+    runs that do exercise it report, even when the drawn count happens
+    to be zero for a seed.
     """
 
     def __init__(
@@ -29,11 +37,18 @@ class AvailabilityAccountant:
         link_population: int,
         node_population: int,
         horizon_ms: float,
+        *,
+        track_srlg: bool = False,
+        track_degrade: bool = False,
+        track_forecast: bool = False,
     ) -> None:
         if horizon_ms <= 0:
             raise SimulationError(f"horizon_ms must be > 0, got {horizon_ms}")
         self._populations = {"link": link_population, "node": node_population}
         self._horizon_ms = horizon_ms
+        self._track_srlg = track_srlg
+        self._track_degrade = track_degrade
+        self._track_forecast = track_forecast
         self.reset()
 
     def reset(self) -> None:
@@ -50,6 +65,12 @@ class AvailabilityAccountant:
         self._interrupted_task_ids: set = set()
         self._fault_reschedules = 0
         self._fault_blocks = 0
+        self._srlg_cuts = 0
+        self._degraded_since: Dict[Tuple[str, str], float] = {}
+        self._degraded_ms = 0.0
+        self._degrade_events = 0
+        self._forecast_drains = 0
+        self._forecast_blocks = 0
         self._finalized_at: "float | None" = None
 
     # ------------------------------------------------------------------
@@ -73,6 +94,36 @@ class AvailabilityAccountant:
             raise SimulationError(f"{component} {subject} repaired while up")
         self._downtime_ms[component] += time_ms - down_at
         self._recover_ms.append(time_ms - down_at)
+
+    def on_srlg_cut(self) -> None:
+        """Record one conduit cut (member-span failures arrive via
+        :meth:`on_fail`, one per downed span)."""
+        self._srlg_cuts += 1
+
+    def on_degrade(self, subject: Tuple[str, str], time_ms: float) -> None:
+        """A link dropped to partial capacity at ``time_ms``."""
+        if subject in self._degraded_since:
+            raise SimulationError(f"link {subject} degraded twice")
+        self._degraded_since[subject] = time_ms
+        self._degrade_events += 1
+
+    def on_degrade_end(self, subject: Tuple[str, str], time_ms: float) -> None:
+        """Full capacity returned on ``subject`` at ``time_ms``."""
+        since = self._degraded_since.pop(subject, None)
+        if since is None:
+            raise SimulationError(f"link {subject} un-degraded while whole")
+        self._degraded_ms += time_ms - since
+
+    def on_forecast_outcomes(self, outcomes: Mapping[str, bool]) -> None:
+        """Record one forecast event's drains (True) and blocks.
+
+        Tasks moved off a doomed span *before* the fault are drains, not
+        interruptions — keeping them out of ``tasks_interrupted`` is
+        exactly how the forecast handler's value shows up in the rows.
+        """
+        drained = sum(1 for ok in outcomes.values() if ok)
+        self._forecast_drains += drained
+        self._forecast_blocks += len(outcomes) - drained
 
     def on_task_outcomes(self, outcomes: Mapping[str, bool]) -> None:
         """Record one failure event's task repairs (True) and blocks.
@@ -100,6 +151,9 @@ class AvailabilityAccountant:
         for (component, _subject), down_at in self._down_since.items():
             self._downtime_ms[component] += max(0.0, window - down_at)
         self._down_since.clear()
+        for _subject, since in self._degraded_since.items():
+            self._degraded_ms += max(0.0, window - since)
+        self._degraded_since.clear()
         self._finalized_at = window
 
     # ------------------------------------------------------------------
@@ -113,12 +167,23 @@ class AvailabilityAccountant:
         when nothing ever failed.  ``tasks_interrupted`` counts distinct
         tasks; ``fault_reschedules``/``fault_blocks`` count repair
         events (one task can contribute several).
+
+        Components still down (or degraded) at call time are charged up
+        to the window edge *without* mutating state, so a mid-run or
+        pre-:meth:`finalize` read reports the downtime accrued so far
+        instead of silently over-reporting availability.
         """
         span = self._finalized_at if self._finalized_at is not None else self._horizon_ms
+        downtime_ms = dict(self._downtime_ms)
+        for (component, _subject), down_at in self._down_since.items():
+            downtime_ms[component] += max(0.0, span - down_at)
+        degraded_ms = self._degraded_ms + sum(
+            max(0.0, span - since) for since in self._degraded_since.values()
+        )
         component_time = sum(
             population * span for population in self._populations.values()
         )
-        downtime = sum(self._downtime_ms.values())
+        downtime = sum(downtime_ms.values())
         availability = (
             1.0 - downtime / component_time if component_time > 0 else 1.0
         )
@@ -127,13 +192,22 @@ class AvailabilityAccountant:
             if self._recover_ms
             else 0.0
         )
-        return {
+        metrics = {
             "fault_events": float(sum(self._fail_events.values())),
-            "link_downtime_ms": self._downtime_ms["link"],
-            "node_downtime_ms": self._downtime_ms["node"],
+            "link_downtime_ms": downtime_ms["link"],
+            "node_downtime_ms": downtime_ms["node"],
             "availability": availability,
             "tasks_interrupted": float(len(self._interrupted_task_ids)),
             "fault_reschedules": float(self._fault_reschedules),
             "fault_blocks": float(self._fault_blocks),
             "mean_time_to_recover_ms": mttr,
         }
+        if self._track_srlg:
+            metrics["srlg_cuts"] = float(self._srlg_cuts)
+        if self._track_degrade:
+            metrics["degrade_events"] = float(self._degrade_events)
+            metrics["degraded_ms"] = degraded_ms
+        if self._track_forecast:
+            metrics["forecast_drains"] = float(self._forecast_drains)
+            metrics["forecast_blocks"] = float(self._forecast_blocks)
+        return metrics

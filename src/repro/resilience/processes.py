@@ -14,16 +14,20 @@ order so the draw order (and hence the timeline) is stable.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..errors import ConfigurationError
 from ..network.graph import Network
 from .profile import FaultProfile
+from .srlg import SharedRiskGroup, derive_srlgs
 
 #: Event kinds.
 FAIL = "fail"
 REPAIR = "repair"
+FORECAST = "forecast"
 
 
 @dataclass(frozen=True, order=True)
@@ -32,9 +36,11 @@ class FaultEvent:
 
     Attributes:
         time_ms: absolute simulated time of the transition.
-        component: ``"link"`` or ``"node"``.
-        subject: ``(u, v)`` for a link, ``(name,)`` for a node.
-        kind: ``"fail"`` or ``"repair"``.
+        component: ``"link"``, ``"node"``, ``"srlg"``, or ``"degrade"``.
+        subject: ``(u, v)`` for a link or a degrade event, ``(name,)``
+            for a node or an SRLG group.
+        kind: ``"fail"``, ``"repair"``, or ``"forecast"`` (an advance
+            warning of an upcoming link/SRLG failure).
     """
 
     time_ms: float
@@ -52,15 +58,28 @@ class FaultTimeline:
 
     Attributes:
         events: time-ordered transitions.
-        link_candidates: links the profile could have failed.
+        link_candidates: links the profile could have failed (directly
+            or through a shared-risk group).
         node_candidates: nodes the profile could have failed.
         horizon_ms: the generation horizon (availability denominator).
+        srlg_groups: the derived shared-risk groups, when the profile
+            runs an SRLG process (event subjects name into these).
+        degrade_candidates: links the partial-degradation process
+            covers (0 when disabled).
+        degraded_fraction: surviving capacity fraction applied by each
+            degrade event (the profile's setting, carried so the
+            injector needs no profile reference at play time).
+        forecast_lead_ms: the profile's drain lead, when forecasting.
     """
 
     events: Tuple[FaultEvent, ...]
     link_candidates: int
     node_candidates: int
     horizon_ms: float
+    srlg_groups: Tuple[SharedRiskGroup, ...] = ()
+    degrade_candidates: int = 0
+    degraded_fraction: float = 0.25
+    forecast_lead_ms: "float | None" = None
 
     @property
     def fail_count(self) -> int:
@@ -68,6 +87,19 @@ class FaultTimeline:
 
 
 def _draw(law: str, rng: random.Random, mean_ms: float) -> float:
+    # Guarded here as well as in FaultProfile validation: expovariate
+    # takes 1/mean, so a zero mean is a ZeroDivisionError and a negative
+    # or NaN mean silently poisons the whole schedule.
+    if (
+        isinstance(mean_ms, bool)
+        or not isinstance(mean_ms, (int, float))
+        or not math.isfinite(mean_ms)
+        or mean_ms <= 0
+    ):
+        raise ConfigurationError(
+            f"fault inter-event mean must be a finite number > 0 ms, "
+            f"got {mean_ms!r}"
+        )
     if law == "deterministic":
         return mean_ms
     return rng.expovariate(1.0 / mean_ms)
@@ -129,20 +161,30 @@ def build_timeline(
 ) -> FaultTimeline:
     """Draw the full fault schedule for one scenario instance.
 
-    Components are visited in sorted order (links first) so every draw
-    comes off ``rng`` at a fixed position — the timeline is a pure
-    function of its inputs.
+    Components are visited in sorted order — links, then nodes, then
+    SRLG groups, then the degrade population — so every draw comes off
+    ``rng`` at a fixed position and the timeline is a pure function of
+    its inputs.  New processes draw strictly *after* the pre-existing
+    ones, so enabling none of them leaves legacy timelines (and golden
+    files) byte-identical.  Forecast events are derived from the drawn
+    link/SRLG failures without consuming randomness.
     """
     events: List[FaultEvent] = []
-    links = link_candidates(network) if profile.link_mtbf_ms is not None else []
-    for index, (u, v) in enumerate(links):
-        events.extend(
-            _component_events(
-                (u, v), "link", profile.law, rng,
-                profile.link_mtbf_ms, profile.link_mttr_ms, profile.horizon_ms,
-                phase=(index + 1) / len(links),
+    covered_links = (
+        link_candidates(network)
+        if profile.link_mtbf_ms is not None or profile.srlg_mtbf_ms is not None
+        else []
+    )
+    if profile.link_mtbf_ms is not None:
+        for index, (u, v) in enumerate(covered_links):
+            events.extend(
+                _component_events(
+                    (u, v), "link", profile.law, rng,
+                    profile.link_mtbf_ms, profile.link_mttr_ms,
+                    profile.horizon_ms,
+                    phase=(index + 1) / len(covered_links),
+                )
             )
-        )
     nodes = (
         node_candidates(network, profile.node_kinds)
         if profile.node_mtbf_ms is not None
@@ -156,10 +198,49 @@ def build_timeline(
                 phase=(index + 1) / len(nodes),
             )
         )
+    groups: Tuple[SharedRiskGroup, ...] = ()
+    if profile.srlg_mtbf_ms is not None:
+        groups = derive_srlgs(network, profile.srlg_radius_km)
+        for index, group in enumerate(groups):
+            events.extend(
+                _component_events(
+                    (group.name,), "srlg", profile.law, rng,
+                    profile.srlg_mtbf_ms, profile.srlg_mttr_ms,
+                    profile.horizon_ms,
+                    phase=(index + 1) / len(groups),
+                )
+            )
+    degrade_links = (
+        link_candidates(network) if profile.degrade_mtbf_ms is not None else []
+    )
+    for index, (u, v) in enumerate(degrade_links):
+        events.extend(
+            _component_events(
+                (u, v), "degrade", profile.law, rng,
+                profile.degrade_mtbf_ms, profile.degrade_mttr_ms,
+                profile.horizon_ms,
+                phase=(index + 1) / len(degrade_links),
+            )
+        )
+    if profile.forecast_lead_ms is not None:
+        events.extend(
+            FaultEvent(
+                max(0.0, event.time_ms - profile.forecast_lead_ms),
+                event.component,
+                event.subject,
+                FORECAST,
+            )
+            for event in list(events)
+            if event.kind == FAIL and event.component in ("link", "srlg")
+        )
     events.sort()
     return FaultTimeline(
         events=tuple(events),
-        link_candidates=len(links),
+        link_candidates=len(covered_links),
         node_candidates=len(nodes),
         horizon_ms=profile.horizon_ms,
+        srlg_groups=groups,
+        degrade_candidates=len(degrade_links),
+        degraded_fraction=profile.degraded_fraction,
+        forecast_lead_ms=profile.forecast_lead_ms,
     )

@@ -13,6 +13,7 @@ intensity like any other scenario parameter.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Any, Mapping, Tuple
 
@@ -27,8 +28,34 @@ TUNABLE_FIELDS = (
     "link_mttr_ms",
     "node_mtbf_ms",
     "node_mttr_ms",
+    "srlg_mtbf_ms",
+    "srlg_mttr_ms",
+    "srlg_radius_km",
+    "degrade_mtbf_ms",
+    "degrade_mttr_ms",
+    "degraded_fraction",
+    "forecast_lead_ms",
     "horizon_ms",
 )
+
+
+def _require_positive_finite(name: str, value: Any) -> None:
+    """Reject anything but a finite number > 0, with a clear message.
+
+    ``random.expovariate(1.0 / mean)`` divides by the mean and then
+    trusts the result, so a zero slips through as ``ZeroDivisionError``
+    deep inside timeline drawing and a ``None``/NaN as an opaque
+    ``TypeError`` or a poisoned schedule — every mean must be vetted
+    here, at construction time.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"{name} must be a number > 0, got {value!r}"
+        )
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
 
 
 @dataclass(frozen=True)
@@ -42,6 +69,24 @@ class FaultProfile:
         node_mtbf_ms: mean time between failures per node; ``None``
             disables the node fault process.
         node_mttr_ms: mean time to repair a failed node.
+        srlg_mtbf_ms: mean time between *conduit cuts* — correlated
+            failures downing every link in a shared-risk group at once;
+            ``None`` disables the SRLG process.  Mutually exclusive with
+            ``link_mtbf_ms`` (both draw from the same link population).
+        srlg_mttr_ms: mean time to splice a cut conduit.
+        srlg_radius_km: geographic clustering radius used to derive the
+            groups from node coordinates (see
+            :func:`~repro.resilience.srlg.derive_srlgs`).
+        degrade_mtbf_ms: mean time between partial-capacity events — a
+            link dropping to ``degraded_fraction`` of its nominal rate
+            rather than to zero; ``None`` disables the process.
+        degrade_mttr_ms: mean time until full capacity returns.
+        degraded_fraction: surviving fraction of nominal capacity while
+            degraded, in (0, 1).
+        forecast_lead_ms: when set, every link/SRLG failure is preceded
+            by a *forecast* event this many ms earlier (clamped to t=0),
+            giving the orchestrator a drain window before the fault
+            lands; ``None`` disables forecasting.
         law: inter-event law — ``"exponential"`` draws intervals from an
             exponential distribution with the configured mean,
             ``"deterministic"`` uses the mean verbatim (maintenance-
@@ -57,6 +102,13 @@ class FaultProfile:
     link_mttr_ms: float = 1_000.0
     node_mtbf_ms: "float | None" = None
     node_mttr_ms: float = 2_000.0
+    srlg_mtbf_ms: "float | None" = None
+    srlg_mttr_ms: float = 4_000.0
+    srlg_radius_km: float = 150.0
+    degrade_mtbf_ms: "float | None" = None
+    degrade_mttr_ms: float = 3_000.0
+    degraded_fraction: float = 0.25
+    forecast_lead_ms: "float | None" = None
     law: str = "exponential"
     horizon_ms: float = 60_000.0
     node_kinds: Tuple[str, ...] = ("server", "roadm")
@@ -66,23 +118,42 @@ class FaultProfile:
             raise ConfigurationError(
                 f"fault law must be one of {LAWS}, got {self.law!r}"
             )
-        if self.link_mtbf_ms is None and self.node_mtbf_ms is None:
+        enabling = (
+            "link_mtbf_ms", "node_mtbf_ms", "srlg_mtbf_ms", "degrade_mtbf_ms"
+        )
+        if all(getattr(self, name) is None for name in enabling):
             raise ConfigurationError(
-                "a fault profile needs at least one of link_mtbf_ms / "
-                "node_mtbf_ms"
+                "a fault profile needs at least one of "
+                + " / ".join(enabling)
             )
-        for name in ("link_mtbf_ms", "node_mtbf_ms"):
-            value = getattr(self, name)
-            if value is not None and value <= 0:
-                raise ConfigurationError(f"{name} must be > 0, got {value}")
-        for name in ("link_mttr_ms", "node_mttr_ms"):
-            value = getattr(self, name)
-            if value <= 0:
-                raise ConfigurationError(f"{name} must be > 0, got {value}")
-        if self.horizon_ms <= 0:
+        if self.link_mtbf_ms is not None and self.srlg_mtbf_ms is not None:
             raise ConfigurationError(
-                f"horizon_ms must be > 0, got {self.horizon_ms}"
+                "link_mtbf_ms and srlg_mtbf_ms are mutually exclusive: "
+                "both fail the same link population and their overlapping "
+                "outages would double-count downtime"
             )
+        for name in enabling:
+            value = getattr(self, name)
+            if value is not None:
+                _require_positive_finite(name, value)
+        for name in (
+            "link_mttr_ms", "node_mttr_ms", "srlg_mttr_ms",
+            "degrade_mttr_ms", "srlg_radius_km", "horizon_ms",
+        ):
+            _require_positive_finite(name, getattr(self, name))
+        _require_positive_finite("degraded_fraction", self.degraded_fraction)
+        if self.degraded_fraction >= 1.0:
+            raise ConfigurationError(
+                f"degraded_fraction must be < 1 (a degraded link keeps a "
+                f"strict fraction of its rate), got {self.degraded_fraction}"
+            )
+        if self.forecast_lead_ms is not None:
+            _require_positive_finite("forecast_lead_ms", self.forecast_lead_ms)
+            if self.link_mtbf_ms is None and self.srlg_mtbf_ms is None:
+                raise ConfigurationError(
+                    "forecast_lead_ms needs a link or SRLG fault process "
+                    "to forecast"
+                )
         if not self.node_kinds:
             raise ConfigurationError("node_kinds must not be empty")
 
@@ -128,4 +199,18 @@ class FaultProfile:
             )
         else:
             lines.append("nodes: never fail")
+        if self.srlg_mtbf_ms is not None:
+            lines.append(
+                f"srlgs: MTBF={self.srlg_mtbf_ms:.0f} ms  "
+                f"MTTR={self.srlg_mttr_ms:.0f} ms  "
+                f"radius={self.srlg_radius_km:.0f} km"
+            )
+        if self.degrade_mtbf_ms is not None:
+            lines.append(
+                f"degrade: MTBF={self.degrade_mtbf_ms:.0f} ms  "
+                f"MTTR={self.degrade_mttr_ms:.0f} ms  "
+                f"fraction={self.degraded_fraction:g}"
+            )
+        if self.forecast_lead_ms is not None:
+            lines.append(f"forecast: lead={self.forecast_lead_ms:.0f} ms")
         return "\n".join(lines)

@@ -71,6 +71,40 @@ _WAN_FLAKY_FAULTS: Dict[str, float] = {
     "link_mttr_ms": 6_000.0,
     "horizon_ms": 90_000.0,
 }
+#: Correlated-failure numbers (PR 9).  SRLG cuts share one MTBF per
+#: conduit group; degraded spans drop to a capacity fraction instead of
+#: zero; the pinned trace campaign adds failure forecasts the
+#: orchestrator drains ahead of.
+_SRLG_CUT_FAULTS: Dict[str, float] = {
+    "srlg_mtbf_ms": 40_000.0,
+    "srlg_mttr_ms": 6_000.0,
+    "srlg_radius_km": 150.0,
+    "horizon_ms": 90_000.0,
+}
+_DEGRADED_SPAN_FAULTS: Dict[str, float] = {
+    "degrade_mtbf_ms": 30_000.0,
+    "degrade_mttr_ms": 5_000.0,
+    "degraded_fraction": 0.25,
+    "horizon_ms": 90_000.0,
+}
+_TRACE_SRLG_FAULTS: Dict[str, float] = {
+    "srlg_mtbf_ms": 9_000.0,
+    "srlg_mttr_ms": 2_000.0,
+    "srlg_radius_km": 150.0,
+    "forecast_lead_ms": 400.0,
+    "horizon_ms": 16_000.0,
+}
+#: Trace-synthesis knobs shared by the trace-replay scenarios.
+_TRACE_DEFAULTS: Dict[str, Any] = {
+    "trace_path": "",
+    "trace_epochs": 24,
+    "trace_epoch_ms": 1_000.0,
+    "trace_mean_arrivals": 2.0,
+    "trace_pareto_alpha": 1.8,
+    "trace_diurnal_amplitude": 0.6,
+    "demand_cap_gbps": 80.0,
+    "modulation": "none",
+}
 
 
 # ---------------------------------------------------------------------------
@@ -414,6 +448,100 @@ def register_builtin_scenarios() -> None:
                 "failures",
                 "resilience",
             ),
+        ),
+        # --- trace-shaped workloads + correlated failures (PR 9) ------
+        ScenarioSpec(
+            name="mawi-trace-replay",
+            description="metro mesh replaying a synthesised MAWI-like trace",
+            topology=_METRO_MESH,
+            workload=workloads.trace,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                **_TRACE_DEFAULTS,
+                "n_sites": 16,
+                "servers_per_site": 2,
+                "diurnal_period_ms": 12_000.0,
+                "diurnal_amplitude": 0.6,
+                "flash_time_ms": 6_000.0,
+                "flash_width_ms": 1_500.0,
+                "flash_fraction": 0.4,
+            },
+            serve="campaign",
+            tags=("metro", "trace", "workload"),
+        ),
+        ScenarioSpec(
+            name="interdc-deadlines",
+            description="Telstra backbone serving deadline-bearing transfer classes",
+            topology=_ISP_TELSTRA,
+            workload=workloads.interdc,
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                **_ISP_TELSTRA.family_defaults(),
+                "mean_interarrival_ms": 400.0,
+                "bulk_fraction": 0.3,
+                "bulk_demand_gbps": 25.0,
+                "bulk_deadline_ms": 30_000.0,
+                "interactive_demand_gbps": 5.0,
+                "interactive_deadline_ms": 6_000.0,
+                "modulation": "none",
+            },
+            serve="campaign",
+            tags=("wan", "isp", "deadlines", "workload"),
+        ),
+        ScenarioSpec(
+            name="isp-srlg-cuts",
+            description="Ebone campaign with geographic shared-risk conduit cuts",
+            topology=_ISP_EBONE,
+            workload=workloads.uniform,
+            fault_profile=FaultProfile(**_SRLG_CUT_FAULTS),
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                **_ISP_EBONE.family_defaults(),
+                "rounds": 8,
+                "mean_interarrival_ms": 400.0,
+                **_SRLG_CUT_FAULTS,
+            },
+            serve="campaign",
+            tags=("wan", "isp", "failures", "resilience", "srlg"),
+        ),
+        ScenarioSpec(
+            name="metro-degraded-spans",
+            description="metro mesh campaign with partial span degradation",
+            topology=_METRO_MESH,
+            workload=workloads.uniform,
+            fault_profile=FaultProfile(**_DEGRADED_SPAN_FAULTS),
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                "n_sites": 16,
+                "servers_per_site": 2,
+                "rounds": 8,
+                "mean_interarrival_ms": 400.0,
+                **_DEGRADED_SPAN_FAULTS,
+            },
+            serve="campaign",
+            tags=("metro", "uniform", "failures", "resilience", "degrade"),
+        ),
+        ScenarioSpec(
+            name="trace-srlg-campaign",
+            description="pinned trace replay under forecast SRLG cuts (acceptance)",
+            topology=_ISP_EBONE,
+            workload=workloads.trace,
+            fault_profile=FaultProfile(**_TRACE_SRLG_FAULTS),
+            defaults={
+                **_WORKLOAD_DEFAULTS,
+                **_ISP_EBONE.family_defaults(),
+                **_TRACE_DEFAULTS,
+                # Small on purpose: this scenario is replayed across the
+                # backend × path-cache × CSR byte-identity matrix.
+                "n_locals": 3,
+                "rounds": 2,
+                "trace_epochs": 12,
+                "trace_epoch_ms": 800.0,
+                "trace_mean_arrivals": 1.5,
+                **_TRACE_SRLG_FAULTS,
+            },
+            serve="campaign",
+            tags=("wan", "isp", "trace", "failures", "resilience", "srlg"),
         ),
     )
     for spec in specs:

@@ -268,6 +268,11 @@ def _serve_campaign(instance: ScenarioInstance, scheduler) -> Row:
         "makespan_ms": outcome.makespan_ms,
         "failed_links": len(instance.failed_links),
     }
+    if outcome.deadline_tasks:
+        # Conditional, like availability below: rows from workloads
+        # without deadline classes keep their legacy shape.
+        row["deadline_tasks"] = outcome.deadline_tasks
+        row["deadline_misses"] = outcome.deadline_misses
     if outcome.availability is not None:
         row.update(outcome.availability)
     return row

@@ -6,9 +6,16 @@ stock generator unchanged; ``pareto`` redraws per-task demands from a
 heavy-tailed Pareto distribution (flow *sizes* in real traffic are
 heavy-tailed, so a handful of elephant tasks dominate); ``bursty``
 redraws arrival times from a Poisson cluster process (arrivals come in
-correlated bursts rather than as a smooth stream).  Both redraws happen
-on dedicated named streams, so the placement/model draws stay identical
-to the uniform workload with the same seed.
+correlated bursts rather than as a smooth stream); ``trace`` replays a
+per-epoch arrival/demand series (loaded from file or synthesised —
+see :mod:`repro.scenarios.traces`); ``interdc`` mixes deadline-bearing
+inter-datacenter transfer classes (bulk vs interactive).  Every redraw
+happens on dedicated named streams, so the placement/model draws stay
+identical to the uniform workload with the same seed.
+
+All builders honour a ``modulation`` parameter (``"none"`` /
+``"diurnal"`` / ``"flash-crowd"``) when wrapped in :class:`Modulated`;
+``trace`` and ``interdc`` apply it natively.
 """
 
 from __future__ import annotations
@@ -20,6 +27,15 @@ from ..errors import ConfigurationError
 from ..network.graph import Network
 from ..sim.rng import RandomStreams
 from ..tasks.workload import TaskWorkload, WorkloadConfig, generate_workload
+from .traces import (
+    SynthConfig,
+    epoch_arrival_times,
+    epoch_demands,
+    diurnal_arrivals,
+    flash_crowd,
+    load_trace,
+    synthesize_mawi,
+)
 
 
 def _base_config(params: Dict[str, Any]) -> WorkloadConfig:
@@ -82,6 +98,16 @@ def bursty(
         raise ConfigurationError(f"burst_size must be >= 1, got {burst_size}")
     gap_ms = params.get("mean_burst_gap_ms", 1_000.0)
     intra_ms = params.get("intra_burst_ms", 5.0)
+    # expovariate takes 1/mean — a zero mean would be a ZeroDivisionError
+    # mid-sweep, so reject it like burst_size above.
+    if gap_ms <= 0:
+        raise ConfigurationError(
+            f"mean_burst_gap_ms must be > 0, got {gap_ms}"
+        )
+    if intra_ms <= 0:
+        raise ConfigurationError(
+            f"intra_burst_ms must be > 0, got {intra_ms}"
+        )
     base = generate_workload(network, _base_config(params), streams)
     rng = streams.stream("workload/burst-arrivals")
     clock = 0.0
@@ -95,9 +121,180 @@ def bursty(
     return TaskWorkload(tasks=tuple(tasks), config=base.config)
 
 
+def trace(
+    network: Network, params: Dict[str, Any], streams: RandomStreams
+) -> TaskWorkload:
+    """Replay a per-epoch arrival/demand series as the task mix.
+
+    The series comes from ``trace_path`` (a CSV/JSON capture) or — when
+    the path is empty — from the deterministic MAWI-like synthesiser on
+    the ``workload/trace-synth`` stream.  Task count and demands follow
+    the series (``n_tasks`` is ignored); arrival instants fall uniformly
+    inside each epoch (``workload/trace-arrivals`` stream); per-epoch
+    demands are clipped at ``demand_cap_gbps``.
+    """
+    path = params.get("trace_path", "")
+    if path:
+        series = load_trace(path)
+    else:
+        series = synthesize_mawi(
+            SynthConfig(
+                epochs=params.get("trace_epochs", 24),
+                epoch_ms=params.get("trace_epoch_ms", 1_000.0),
+                mean_arrivals=params.get("trace_mean_arrivals", 2.0),
+                mean_demand_gbps=params["demand_gbps"],
+                pareto_alpha=params.get("trace_pareto_alpha", 1.8),
+                diurnal_amplitude=params.get("trace_diurnal_amplitude", 0.6),
+                diurnal_period_epochs=params.get(
+                    "trace_diurnal_period_epochs", 24
+                ),
+                max_arrivals_per_epoch=params.get(
+                    "trace_max_arrivals_per_epoch", 50
+                ),
+            ),
+            streams.stream("workload/trace-synth"),
+        )
+    cap = params.get("demand_cap_gbps", 80.0)
+    if cap <= 0:
+        raise ConfigurationError(f"demand_cap_gbps must be > 0, got {cap}")
+    base = generate_workload(
+        network,
+        WorkloadConfig(
+            n_tasks=series.total_tasks,
+            n_locals=params["n_locals"],
+            demand_gbps=params["demand_gbps"],
+            rounds=params.get("rounds", 3),
+            mean_interarrival_ms=0.0,
+        ),
+        streams,
+    )
+    arrivals = epoch_arrival_times(
+        series, streams.stream("workload/trace-arrivals")
+    )
+    demands = epoch_demands(series)
+    tasks = tuple(
+        dataclasses.replace(
+            task,
+            arrival_ms=arrival,
+            demand_gbps=round(min(cap, demand), 6),
+        )
+        for task, arrival, demand in zip(base, arrivals, demands)
+    )
+    return _modulate(
+        TaskWorkload(tasks=tasks, config=base.config), params, streams
+    )
+
+
+def interdc(
+    network: Network, params: Dict[str, Any], streams: RandomStreams
+) -> TaskWorkload:
+    """Deadline-bearing inter-DC transfer classes: bulk vs interactive.
+
+    Each task joins the *bulk* class (big demand, loose deadline) with
+    probability ``bulk_fraction``, else the *interactive* class (small
+    demand, tight deadline), drawn on the ``workload/interdc-class``
+    stream.  Deadlines are relative to arrival; the campaign runner
+    reports misses (see
+    :class:`~repro.orchestrator.campaign.CampaignResult`).
+    """
+    bulk_fraction = params.get("bulk_fraction", 0.3)
+    if not 0.0 <= bulk_fraction <= 1.0:
+        raise ConfigurationError(
+            f"bulk_fraction must lie in [0, 1], got {bulk_fraction}"
+        )
+    classes = {
+        True: (
+            params.get("bulk_demand_gbps", 25.0),
+            params.get("bulk_deadline_ms", 30_000.0),
+        ),
+        False: (
+            params.get("interactive_demand_gbps", 5.0),
+            params.get("interactive_deadline_ms", 6_000.0),
+        ),
+    }
+    for demand, deadline in classes.values():
+        if demand <= 0:
+            raise ConfigurationError(
+                f"class demand must be > 0 Gbps, got {demand}"
+            )
+        if deadline <= 0:
+            raise ConfigurationError(
+                f"class deadline must be > 0 ms, got {deadline}"
+            )
+    base = generate_workload(network, _base_config(params), streams)
+    rng = streams.stream("workload/interdc-class")
+    tasks = []
+    for task in base:
+        demand, deadline = classes[rng.random() < bulk_fraction]
+        tasks.append(
+            dataclasses.replace(
+                task, demand_gbps=demand, deadline_ms=deadline
+            )
+        )
+    return _modulate(
+        TaskWorkload(tasks=tuple(tasks), config=base.config), params, streams
+    )
+
+
+#: Modulation modes a workload parameter dict may name.
+MODULATIONS = ("none", "diurnal", "flash-crowd")
+
+
+def _modulate(
+    workload: TaskWorkload, params: Dict[str, Any], streams: RandomStreams
+) -> TaskWorkload:
+    """Apply the ``modulation`` named in ``params`` over a built workload.
+
+    ``diurnal`` is RNG-free (a deterministic arrival time-warp);
+    ``flash-crowd`` draws on its own ``workload/flash-crowd`` stream —
+    either way the base workload's streams are untouched, so modulated
+    and unmodulated runs share placements, models, and demands.
+    """
+    mode = params.get("modulation", "none")
+    if mode == "none":
+        return workload
+    if mode == "diurnal":
+        tasks = diurnal_arrivals(
+            workload.tasks,
+            period_ms=params.get("diurnal_period_ms", 10_000.0),
+            amplitude=params.get("diurnal_amplitude", 0.6),
+        )
+    elif mode == "flash-crowd":
+        tasks = flash_crowd(
+            workload.tasks,
+            streams.stream("workload/flash-crowd"),
+            time_ms=params.get("flash_time_ms", 2_000.0),
+            width_ms=params.get("flash_width_ms", 500.0),
+            fraction=params.get("flash_fraction", 0.5),
+        )
+    else:
+        raise ConfigurationError(
+            f"modulation must be one of {MODULATIONS}, got {mode!r}"
+        )
+    return TaskWorkload(tasks=tasks, config=workload.config)
+
+
+@dataclasses.dataclass(frozen=True)
+class Modulated:
+    """Wrap any builder so the ``modulation`` parameter applies on top.
+
+    A frozen dataclass (not a closure) so wrapped builders stay
+    picklable on specs riding into spawn-started sweep workers.
+    """
+
+    base: Any
+
+    def __call__(
+        self, network: Network, params: Dict[str, Any], streams: RandomStreams
+    ) -> TaskWorkload:
+        return _modulate(self.base(network, params, streams), params, streams)
+
+
 #: Builder name -> callable, for CLI/docs introspection.
 WORKLOADS = {
     "uniform": uniform,
     "pareto": pareto,
     "bursty": bursty,
+    "trace": trace,
+    "interdc": interdc,
 }

@@ -23,6 +23,9 @@ class AITask:
         local_utility: optional per-local data-usefulness score in [0, 1],
             consumed by client-selection strategies (challenge #1).
         arrival_ms: simulated arrival time.
+        deadline_ms: optional completion deadline, relative to arrival —
+            the task should finish by ``arrival_ms + deadline_ms``
+            (inter-DC transfer classes; ``None`` means best-effort).
     """
 
     task_id: str
@@ -33,6 +36,7 @@ class AITask:
     demand_gbps: float = 10.0
     local_utility: Optional[Tuple[float, ...]] = None
     arrival_ms: float = 0.0
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.task_id:
@@ -67,6 +71,11 @@ class AITask:
                 )
         if self.arrival_ms < 0:
             raise TaskError(f"task {self.task_id!r}: arrival must be >= 0 ms")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise TaskError(
+                f"task {self.task_id!r}: deadline must be > 0 ms, "
+                f"got {self.deadline_ms}"
+            )
 
     @property
     def n_locals(self) -> int:
@@ -110,4 +119,5 @@ class AITask:
             demand_gbps=self.demand_gbps,
             local_utility=utility,
             arrival_ms=self.arrival_ms,
+            deadline_ms=self.deadline_ms,
         )

@@ -38,6 +38,19 @@ GOLDEN_SWEEPS = {
         grid={"n_tasks": [6], "n_sites": [8]},
         seeds=(0,),
     ),
+    # The PR-9 acceptance pin: trace-shaped arrivals + forecast SRLG
+    # cuts.  The same scenario is replayed across every backend /
+    # path-cache / CSR combination in test_trace_matrix.py.
+    "trace_srlg_campaign": SweepConfig(
+        scenarios=("trace-srlg-campaign",),
+        grid={"trace_epochs": [8]},
+        seeds=(0,),
+    ),
+    "interdc_deadlines_campaign": SweepConfig(
+        scenarios=("interdc-deadlines",),
+        grid={"n_tasks": [8]},
+        seeds=(0,),
+    ),
 }
 
 
