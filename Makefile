@@ -1,4 +1,4 @@
-.PHONY: test bench bench-smoke bench-csr bench-verify smoke sweep-smoke topo-smoke obs-smoke traces-smoke properties all
+.PHONY: test bench bench-smoke bench-csr bench-verify smoke sweep-smoke topo-smoke obs-smoke obs-collect-smoke traces-smoke properties all
 
 # Tier-1: the full test suite (pyproject.toml supplies pythonpath/testpaths).
 test:
@@ -66,6 +66,26 @@ obs-smoke:
 		--by scheduler
 	PYTHONPATH=src python -m repro.cli obs tail .obs-smoke-trace.jsonl -n 5
 	rm -f .obs-smoke-off.jsonl .obs-smoke-on.jsonl .obs-smoke-trace.jsonl*
+
+# Distributed-collection smoke: the same tiny sweep on the socket
+# backend without and with --collect; cmp proves collection is
+# out-of-band (result JSONL byte-identical), then the merged campaign
+# trace must render through `repro obs analyze` and hold the default
+# SLO watchdogs (`repro obs watch` exits non-zero on breach).
+obs-collect-smoke:
+	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
+		--set demand_gbps=5,10 --backend socket --local-workers 2 \
+		--timeout 120 --jsonl .obs-collect-off.jsonl
+	PYTHONPATH=src python -m repro.cli scenarios sweep toy-triangle \
+		--set demand_gbps=5,10 --backend socket --local-workers 2 \
+		--timeout 120 --jsonl .obs-collect-on.jsonl \
+		--collect .obs-collect-trace.jsonl
+	cmp .obs-collect-off.jsonl .obs-collect-on.jsonl
+	PYTHONPATH=src python -m repro.cli obs analyze .obs-collect-trace.jsonl
+	PYTHONPATH=src python -m repro.cli obs watch \
+		--trace .obs-collect-trace.jsonl
+	rm -f .obs-collect-off.jsonl .obs-collect-on.jsonl \
+		.obs-collect-trace.jsonl*
 
 # One tiny real sweep per new topology family (Waxman, oversubscribed
 # Clos, both Rocketfuel ISP maps, the multi-region composite) plus the

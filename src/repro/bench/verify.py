@@ -128,6 +128,10 @@ FLOORS: List[Floor] = [
         doc="result rows byte-identical with telemetry on and off",
     ),
     Floor(
+        "obs", "collect_identical", 1,
+        doc="result rows byte-identical with trace collection on and off",
+    ),
+    Floor(
         "csr", "scale_free_200.identical", 1,
         doc="CSR and object kernels byte-identical at N=200",
     ),
@@ -155,6 +159,10 @@ FLOORS: List[Floor] = [
     Floor(
         "obs", "off_overhead_pct", 2.0, op="<=", timing=True,
         doc="telemetry-off guard overhead under 2% of sweep wall time",
+    ),
+    Floor(
+        "obs", "collect_overhead_pct", 5.0, op="<=", timing=True,
+        doc="distributed trace collection overhead under 5% of sweep wall",
     ),
     Floor(
         "scheduler", "scale_free_200.speedup", 3.0, timing=True,

@@ -281,6 +281,17 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
             "byte-identical with or without tracing."
         ),
     )
+    sweep.add_argument(
+        "--collect",
+        metavar="PATH",
+        help=(
+            "distributed trace collection: every run executes under a "
+            "per-run capture registry (on whichever backend) and its "
+            "spans/counters merge — skew-normalised — into one campaign "
+            "trace at PATH; analyze it with 'repro obs analyze PATH'.  "
+            "Result rows are byte-identical with or without collection."
+        ),
+    )
 
     worker = sub.add_parser(
         "worker",
@@ -597,6 +608,15 @@ def build_bench_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="benchmarks directory (default: the checkout's benchmarks/)",
     )
+    verify.add_argument(
+        "--watch",
+        action="store_true",
+        help=(
+            "also run the regression watchdogs: compare the newest full "
+            "record against the trailing median of the trajectory and "
+            "fail on step-change drift (see 'repro obs watch')"
+        ),
+    )
 
     report = sub.add_parser(
         "report",
@@ -679,49 +699,86 @@ def build_obs_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep printing records as they are appended (Ctrl-C stops)",
     )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="critical-path and latency analytics over a merged trace",
+        description=(
+            "Reads the merged campaign trace a collected sweep wrote "
+            "('scenarios sweep --collect') and prints the per-run "
+            "critical path split into phases (queue wait, build, "
+            "schedule, drain, re-queue gaps), p50/p95/p99 tables by "
+            "phase, worker, and scenario, and a span-tree flame "
+            "summary — all on the skew-normalised coordinator timeline."
+        ),
+    )
+    analyze.add_argument("trace", help="path to a merged campaign trace")
+    analyze.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="flame paths / slowest runs to print (default: 15)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="print the flat metrics dict as JSON instead of tables",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="evaluate SLO and regression watchdogs; exit 1 on breach",
+        description=(
+            "Evaluates the declarative watchdog tables: SLO rules "
+            "against an analyzed campaign trace (--trace) and "
+            "trailing-median regression rules against the bench "
+            "trajectory (--history).  Any breach renders a report and "
+            "exits non-zero — wire it next to 'repro bench verify' in "
+            "CI.  --slo adds ad-hoc rules like "
+            "'phase.schedule.p99_ms<=250'."
+        ),
+    )
+    watch.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="merged campaign trace to hold against the SLO rules",
+    )
+    watch.add_argument(
+        "--history",
+        metavar="PATH",
+        help="bench history to scan for step-change regressions",
+    )
+    watch.add_argument(
+        "--slo",
+        dest="slo",
+        action="append",
+        default=[],
+        metavar="METRIC<=LIMIT",
+        help=(
+            "extra SLO rule on the analyzed trace metrics "
+            "(repeatable; '<=' or '>=')"
+        ),
+    )
     return parser
 
 
 def _obs_tail_follow(path: str) -> int:
-    """Poll the live trace file and print records as they land."""
-    import json as jsonlib
-    import time as timelib
-
-    position = 0
+    """Print records as they land, surviving trace rotations."""
     try:
-        while True:
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    handle.seek(position)
-                    chunk = handle.read()
-            except OSError:
-                timelib.sleep(0.5)
-                continue
-            # Only consume complete lines; a partial tail stays for the
-            # next poll (the writer may be mid-record).
-            consumed = chunk.rfind("\n") + 1
-            position += consumed
-            for line in chunk[:consumed].splitlines():
-                if not line.strip():
-                    continue
-                try:
-                    record = jsonlib.loads(line)
-                except ValueError:
-                    continue
-                formatted = (
-                    obs.format_record(record)
-                    if isinstance(record, dict)
-                    else None
-                )
-                if formatted:
-                    print(formatted, flush=True)
-            timelib.sleep(0.5)
+        for record in obs.follow_trace(path, poll_s=0.5):
+            formatted = obs.format_record(record)
+            if formatted:
+                print(formatted, flush=True)
     except KeyboardInterrupt:
-        return 0
+        pass
+    return 0
 
 
 def _obs_main(argv: List[str]) -> int:
-    """The ``repro obs`` subcommand: report / tail."""
+    """The ``repro obs`` subcommand: report / tail / analyze / watch."""
+    import json as jsonlib
+
     from .errors import ConfigurationError
 
     args = build_obs_parser().parse_args(argv)
@@ -731,6 +788,36 @@ def _obs_main(argv: List[str]) -> int:
                 obs.report(args.trace, span_labels=tuple(args.span_labels))
             )
             return 0
+        if args.command == "analyze":
+            from .obs.analyze import analyze as analyze_trace
+            from .obs.analyze import render_analysis
+
+            analysis = analyze_trace(args.trace)
+            if args.json:
+                print(jsonlib.dumps(analysis["metrics"], sort_keys=True))
+            else:
+                print(render_analysis(analysis, top=args.top))
+            return 0
+        if args.command == "watch":
+            from .obs.watch import (
+                DEFAULT_SLO_RULES,
+                parse_slo_rule,
+                render_watch,
+                watch,
+            )
+
+            slo_rules = None
+            if args.slo:
+                slo_rules = list(DEFAULT_SLO_RULES) + [
+                    parse_slo_rule(text) for text in args.slo
+                ]
+            result = watch(
+                trace=args.trace,
+                history=args.history,
+                slo_rules=slo_rules,
+            )
+            print(render_watch(result))
+            return 0 if result.ok else 1
         # tail
         if args.follow:
             return _obs_tail_follow(args.trace)
@@ -802,6 +889,7 @@ def _bench_main(argv: List[str]) -> int:
                 if floor.suite in record.get("suites", {})
                 and not (floor.timing and record.get("smoke"))
             ]
+            status = 0
             if violations:
                 print(
                     f"bench verify FAILED on record {label}: "
@@ -809,12 +897,36 @@ def _bench_main(argv: List[str]) -> int:
                 )
                 for violation in violations:
                     print(f"  FAIL {violation.reason}")
-                return 1
-            print(
-                f"bench verify passed on record {label}: "
-                f"{len(checked)} floors hold"
-            )
-            return 0
+                status = 1
+            else:
+                print(
+                    f"bench verify passed on record {label}: "
+                    f"{len(checked)} floors hold"
+                )
+            if args.watch:
+                from .obs.watch import (
+                    DEFAULT_REGRESSION_RULES,
+                    WatchResult,
+                    evaluate_regressions,
+                    render_watch,
+                )
+
+                breaches, watch_checked, skipped = evaluate_regressions(
+                    history, DEFAULT_REGRESSION_RULES
+                )
+                print()
+                print(
+                    render_watch(
+                        WatchResult(
+                            breaches=breaches,
+                            checked=watch_checked,
+                            skipped=skipped,
+                        )
+                    )
+                )
+                if breaches:
+                    status = 1
+            return status
         # report
         try:
             bench.discover_suites(args.bench_dir)  # headline metadata
@@ -1116,6 +1228,7 @@ def _scenarios_main(argv: List[str]) -> int:
                 jsonl_path=args.jsonl,
                 backend=_build_backend(args),
                 sink=sink,
+                collect=args.collect,
             )
     except ConfigurationError as exc:
         logger.error("%s", exc)
@@ -1127,6 +1240,13 @@ def _scenarios_main(argv: List[str]) -> int:
             "'repro obs report %s'",
             args.trace,
             args.trace,
+        )
+    if args.collect:
+        logger.info(
+            "merged campaign trace written to %s — analyze with "
+            "'repro obs analyze %s'",
+            args.collect,
+            args.collect,
         )
     if args.save:
         result.save(args.save)

@@ -30,6 +30,7 @@ guard) so a shared trace file is never written from two processes.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Union
 
@@ -42,11 +43,12 @@ from .log import (
 )
 from .registry import DEFAULT_BUCKETS, Histogram, Span, Telemetry
 from .report import aggregate_trace, format_record, render_summary, report
-from .trace import TraceSink, iter_trace, trace_files
+from .trace import MemorySink, TraceSink, follow_trace, iter_trace, trace_files
 
 __all__ = [
     "Telemetry",
     "TraceSink",
+    "MemorySink",
     "Histogram",
     "Span",
     "DEFAULT_BUCKETS",
@@ -56,6 +58,7 @@ __all__ = [
     "session",
     "enabled",
     "disabled",
+    "thread_session",
     "span",
     "inc",
     "gauge",
@@ -67,7 +70,11 @@ __all__ = [
     "report",
     "format_record",
     "iter_trace",
+    "follow_trace",
     "trace_files",
+    "collect_run",
+    "TraceCollector",
+    "TraceContext",
     "get_logger",
     "configure_logging",
     "LOG_LEVELS",
@@ -75,13 +82,28 @@ __all__ = [
 ]
 
 #: The active registry — ``None`` means telemetry is off.  Every no-op
-#: guard below is exactly one check of this attribute.
+#: guard below is exactly one check of this attribute (plus one
+#: thread-local read for the per-thread capture override).
 _active: Optional[Telemetry] = None
 
 
+class _ThreadState(threading.local):
+    """Per-thread registry override (distributed trace capture)."""
+
+    registry: Optional[Telemetry] = None
+
+
+_tls = _ThreadState()
+
+
 def active() -> Optional[Telemetry]:
-    """The active :class:`Telemetry` registry, or ``None`` when off."""
-    return _active
+    """The active :class:`Telemetry` registry, or ``None`` when off.
+
+    A per-thread capture registry (:func:`thread_session` — how
+    :func:`repro.obs.collect.collect_run` isolates one run's records)
+    shadows the process-global one on its thread only.
+    """
+    return _tls.registry or _active
 
 
 def enable(
@@ -169,13 +191,38 @@ def enabled(
 
 @contextmanager
 def disabled() -> Iterator[None]:
-    """Force telemetry off inside the scope, restoring it after."""
+    """Force telemetry off inside the scope, restoring it after.
+
+    Clears both the process-global registry and this thread's capture
+    override — inside the scope every facade call is a true no-op.
+    """
     global _active
     previous, _active = _active, None
+    previous_tls, _tls.registry = _tls.registry, None
     try:
         yield
     finally:
         _active = previous
+        _tls.registry = previous_tls
+
+
+@contextmanager
+def thread_session(registry: Telemetry) -> Iterator[Telemetry]:
+    """Install ``registry`` for the *current thread only*.
+
+    The distributed-collection capture scope: while active, facade
+    calls and :func:`active` on this thread route to ``registry``
+    (shadowing any process-global session), other threads are
+    untouched, and the previous override is restored on exit.  Unlike
+    :func:`session` the registry is **not** closed on exit — the caller
+    owns it and typically drains its :class:`MemorySink` afterwards.
+    """
+    previous = _tls.registry
+    _tls.registry = registry
+    try:
+        yield registry
+    finally:
+        _tls.registry = previous
 
 
 # ---------------------------------------------------------------------------
@@ -199,32 +246,32 @@ _NULL_SPAN = _NullSpan()
 
 def span(name: str, **labels: Any) -> Union[Span, _NullSpan]:
     """A timed region; the shared no-op span while telemetry is off."""
-    registry = _active
+    registry = _tls.registry or _active
     if registry is None:
         return _NULL_SPAN
     return registry.span(name, **labels)
 
 
 def inc(name: str, value: float = 1, **labels: Any) -> None:
-    registry = _active
+    registry = _tls.registry or _active
     if registry is not None:
         registry.inc(name, value, **labels)
 
 
 def gauge(name: str, value: float, **labels: Any) -> None:
-    registry = _active
+    registry = _tls.registry or _active
     if registry is not None:
         registry.gauge(name, value, **labels)
 
 
 def observe(name: str, value: float, **labels: Any) -> None:
-    registry = _active
+    registry = _tls.registry or _active
     if registry is not None:
         registry.observe(name, value, **labels)
 
 
 def event(name: str, *, sim_ms: Optional[float] = None, **labels: Any) -> None:
-    registry = _active
+    registry = _tls.registry or _active
     if registry is not None:
         registry.event(name, sim_ms=sim_ms, **labels)
 
@@ -244,7 +291,7 @@ def observe_network(network: Any, *, top: int = 5, **labels: Any) -> None:
     by endpoint pair — the hotspot-congestion measurement for
     scale-free hubs.  No-op while telemetry is off.
     """
-    registry = _active
+    registry = _tls.registry or _active
     if registry is None:
         return
     pressures = []
@@ -286,7 +333,14 @@ def _disable_after_fork() -> None:
     """Children of an instrumented process must not share the trace."""
     global _active
     _active = None
+    _tls.registry = None
 
 
 if hasattr(os, "register_at_fork"):  # pragma: no branch
     os.register_at_fork(after_in_child=_disable_after_fork)
+
+
+# Collection imports last: repro.obs.collect uses the facade above
+# (``thread_session``) via a deferred import, but its public names are
+# part of the obs surface.
+from .collect import TraceCollector, TraceContext, collect_run  # noqa: E402

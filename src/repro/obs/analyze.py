@@ -1,0 +1,380 @@
+"""Analytics over merged campaign traces: ``repro obs analyze``.
+
+Consumes the trace a :class:`~repro.obs.collect.TraceCollector` wrote
+and answers "where did the time go" across the whole fleet:
+
+* **Per-run critical path** — queue wait (campaign start or last
+  re-queue until dispatch), worker execution split into its
+  instrumented phases (``run.build`` -> ``run.schedule``), the
+  coordinator-side ``run.drain``, and re-queue gaps for runs that
+  bounced off a dead worker.
+* **Latency tables** — nearest-rank p50/p95/p99 per phase, per worker,
+  and per scenario tag.
+* **Flame summary** — span-tree paths (``campaign;run;run.schedule``)
+  aggregated by count and total wall time, from the span ids/parents
+  the capture registries stamp.
+
+Everything works on the skew-normalised coordinator timeline the
+collector produced; sim-time fields pass through untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from .report import _format_table
+from .trace import iter_trace
+
+#: Worker-side phases summed from spans, in critical-path order.
+EXEC_PHASES = ("run.build", "run.schedule")
+
+#: Maximum span-tree depth the flame walk will follow (cycle guard).
+MAX_FLAME_DEPTH = 32
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _stats(values: List[float]) -> Dict[str, float]:
+    return {
+        "count": len(values),
+        "total_ms": round(sum(values), 3),
+        "p50_ms": round(_percentile(values, 50), 3),
+        "p95_ms": round(_percentile(values, 95), 3),
+        "p99_ms": round(_percentile(values, 99), 3),
+        "max_ms": round(max(values), 3),
+    }
+
+
+def load_campaign(
+    source: Union[str, Iterable[Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """Fold a merged trace into per-run/per-campaign raw material.
+
+    Accepts a trace path (rotations included) or parsed records.
+    Returns a dict with the campaign id and start, a ``runs`` mapping
+    (run token -> spans, events, dispatch/result/requeue stamps), and
+    the campaign-level gauges the collector wrote.
+    """
+    records = iter_trace(source, strict=False) if isinstance(source, str) else source
+    campaign: Dict[str, Any] = {
+        "id": None,
+        "t0_s": None,
+        "span_ms": None,
+        "runs": {},
+        "gauges": {},
+        "workers": set(),
+    }
+    runs: Dict[str, Dict[str, Any]] = campaign["runs"]
+
+    def run_entry(token: str) -> Dict[str, Any]:
+        entry = runs.get(token)
+        if entry is None:
+            entry = runs[token] = {
+                "scenario": None,
+                "seed": None,
+                "workers": set(),
+                "spans": [],
+                "dispatch_s": [],
+                "result_s": [],
+                "requeue_s": [],
+            }
+        return entry
+
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        kind = record.get("type")
+        ctx = record.get("ctx")
+        ctx = ctx if isinstance(ctx, dict) else {}
+        if kind == "meta" and record.get("collect"):
+            campaign["id"] = record.get("campaign")
+            campaign["t0_s"] = record.get("wall_s")
+        elif kind == "gauge":
+            name = record.get("name")
+            if isinstance(name, str) and name.startswith("collect."):
+                campaign["gauges"][name[len("collect."):]] = record.get("value")
+        elif kind == "span":
+            name = record.get("name")
+            if name == "campaign":
+                campaign["span_ms"] = record.get("ms")
+                continue
+            token = ctx.get("run")
+            if not isinstance(token, str):
+                continue
+            entry = run_entry(token)
+            if entry["scenario"] is None and "scenario" in ctx:
+                entry["scenario"] = ctx.get("scenario")
+                entry["seed"] = ctx.get("seed")
+            worker = record.get("worker")
+            if isinstance(worker, str) and worker != "coordinator":
+                entry["workers"].add(worker)
+                campaign["workers"].add(worker)
+            entry["spans"].append(record)
+        elif kind == "event":
+            name = record.get("name")
+            token = ctx.get("run")
+            stamp = record.get("t_s")
+            if not isinstance(token, str) or not isinstance(stamp, (int, float)):
+                continue
+            entry = run_entry(token)
+            if name == "collect.dispatch":
+                entry["dispatch_s"].append(float(stamp))
+            elif name == "collect.result":
+                entry["result_s"].append(float(stamp))
+            elif name == "collect.requeue":
+                entry["requeue_s"].append(float(stamp))
+    return campaign
+
+
+def _span_total(spans: List[Dict[str, Any]], name: str) -> float:
+    return sum(
+        float(span.get("ms", 0.0)) for span in spans if span.get("name") == name
+    )
+
+
+def _flame_paths(
+    spans: List[Dict[str, Any]]
+) -> List[Tuple[str, float]]:
+    """(path, ms) per identified span, path = names from root down."""
+    by_id = {
+        span["span_id"]: span
+        for span in spans
+        if isinstance(span.get("span_id"), str)
+    }
+    paths: List[Tuple[str, float]] = []
+    for span in spans:
+        name = str(span.get("name", "?"))
+        chain = [name]
+        parent = span.get("parent")
+        depth = 0
+        while isinstance(parent, str) and depth < MAX_FLAME_DEPTH:
+            above = by_id.get(parent)
+            if above is None:
+                break
+            chain.append(str(above.get("name", "?")))
+            parent = above.get("parent")
+            depth += 1
+        paths.append((";".join(reversed(chain)), float(span.get("ms", 0.0))))
+    return paths
+
+
+def analyze_campaign(campaign: Dict[str, Any]) -> Dict[str, Any]:
+    """Critical paths, percentile tables, and the flame summary."""
+    runs = campaign["runs"]
+    if not runs:
+        raise ConfigurationError(
+            "trace contains no collected runs — was the sweep executed "
+            "with collection on (scenarios sweep --collect)?"
+        )
+    campaign_t0 = campaign.get("t0_s")
+    per_run: List[Dict[str, Any]] = []
+    phase_values: Dict[str, List[float]] = {
+        "queue_wait": [],
+        "build": [],
+        "schedule": [],
+        "exec_other": [],
+        "drain": [],
+        "requeue_gap": [],
+        "critical_path": [],
+    }
+    by_worker: Dict[str, List[float]] = {}
+    by_scenario: Dict[str, List[float]] = {}
+    flame: Dict[str, Dict[str, float]] = {}
+    complete = 0
+    for token, entry in runs.items():
+        spans = entry["spans"]
+        build = _span_total(spans, "run.build")
+        schedule = _span_total(spans, "run.schedule")
+        drain = _span_total(spans, "run.drain")
+        exec_ms = _span_total(spans, "run")
+        exec_other = max(0.0, exec_ms - build - schedule)
+        dispatches = sorted(entry["dispatch_s"])
+        requeues = sorted(entry["requeue_s"])
+        queue_wait = 0.0
+        if dispatches and isinstance(campaign_t0, (int, float)):
+            queue_wait = max(0.0, (dispatches[0] - float(campaign_t0)) * 1000.0)
+        requeue_gap = 0.0
+        for stamp in requeues:
+            later = [d for d in dispatches if d >= stamp]
+            if later:
+                requeue_gap += (later[0] - stamp) * 1000.0
+        critical = queue_wait + requeue_gap + exec_ms + drain
+        if exec_ms > 0.0:
+            complete += 1
+        worker = next(iter(sorted(entry["workers"])), "?")
+        scenario = entry["scenario"] or "?"
+        per_run.append(
+            {
+                "run": token,
+                "scenario": scenario,
+                "seed": entry["seed"],
+                "worker": worker,
+                "requeues": len(requeues),
+                "queue_wait_ms": round(queue_wait, 3),
+                "build_ms": round(build, 3),
+                "schedule_ms": round(schedule, 3),
+                "exec_ms": round(exec_ms, 3),
+                "drain_ms": round(drain, 3),
+                "requeue_gap_ms": round(requeue_gap, 3),
+                "critical_path_ms": round(critical, 3),
+            }
+        )
+        phase_values["queue_wait"].append(queue_wait)
+        phase_values["build"].append(build)
+        phase_values["schedule"].append(schedule)
+        phase_values["exec_other"].append(exec_other)
+        phase_values["drain"].append(drain)
+        phase_values["requeue_gap"].append(requeue_gap)
+        phase_values["critical_path"].append(critical)
+        by_worker.setdefault(worker, []).append(exec_ms)
+        by_scenario.setdefault(scenario, []).append(critical)
+        for path, ms in _flame_paths(spans):
+            node = flame.setdefault(path, {"count": 0, "total_ms": 0.0})
+            node["count"] += 1
+            node["total_ms"] += ms
+    for node in flame.values():
+        node["total_ms"] = round(node["total_ms"], 3)
+    gauges = campaign.get("gauges", {})
+    expected = gauges.get("runs_executed")
+    if not isinstance(expected, (int, float)) or expected <= 0:
+        expected = len(per_run)
+    coverage = complete / expected if expected else 1.0
+    phases = {name: _stats(values) for name, values in phase_values.items()}
+    metrics: Dict[str, Any] = {
+        "runs": len(per_run),
+        "runs_complete": complete,
+        "coverage": round(coverage, 6),
+        "workers": len(campaign.get("workers", ())) or len(by_worker),
+        "requeues": sum(entry["requeues"] for entry in per_run),
+        "clock_skew_max_ms": gauges.get("max_abs_skew_ms", 0.0),
+    }
+    for name, stats in phases.items():
+        for stat in ("p50_ms", "p95_ms", "p99_ms"):
+            metrics[f"phase.{name}.{stat[:-3]}_ms"] = stats[stat]
+    return {
+        "campaign": campaign.get("id"),
+        "campaign_ms": campaign.get("span_ms"),
+        "runs": per_run,
+        "phases": phases,
+        "by_worker": {
+            worker: _stats(values) for worker, values in by_worker.items()
+        },
+        "by_scenario": {
+            scenario: _stats(values)
+            for scenario, values in by_scenario.items()
+        },
+        "flame": flame,
+        "gauges": dict(gauges),
+        "metrics": metrics,
+    }
+
+
+def analyze(source: Union[str, Iterable[Dict[str, Any]]]) -> Dict[str, Any]:
+    """Load + analyze in one call (what the CLI uses)."""
+    return analyze_campaign(load_campaign(source))
+
+
+def _stats_rows(
+    table: Dict[str, Dict[str, float]]
+) -> List[Tuple[str, ...]]:
+    rows = []
+    for name in sorted(table):
+        stats = table[name]
+        rows.append(
+            (
+                name,
+                str(int(stats["count"])),
+                f"{stats['p50_ms']:.3f}",
+                f"{stats['p95_ms']:.3f}",
+                f"{stats['p99_ms']:.3f}",
+                f"{stats['max_ms']:.3f}",
+                f"{stats['total_ms']:.1f}",
+            )
+        )
+    return rows
+
+
+def render_analysis(analysis: Dict[str, Any], *, top: int = 15) -> str:
+    """The ``repro obs analyze`` text report."""
+    lines: List[str] = []
+    metrics = analysis["metrics"]
+    campaign_ms = analysis.get("campaign_ms")
+    lines.append(f"campaign: {analysis.get('campaign') or '?'}")
+    lines.append(
+        f"runs: {metrics['runs']} ({metrics['runs_complete']} complete, "
+        f"coverage {metrics['coverage']:.2f})  workers: {metrics['workers']}"
+        f"  requeues: {metrics['requeues']}"
+        + (f"  wall: {campaign_ms:.0f}ms" if campaign_ms else "")
+    )
+    skew = metrics.get("clock_skew_max_ms")
+    if isinstance(skew, (int, float)) and skew:
+        lines.append(f"max worker clock skew: {skew:.3f}ms (normalised)")
+    headers = ("", "count", "p50_ms", "p95_ms", "p99_ms", "max_ms", "total_ms")
+    lines.append("")
+    lines.append("critical path by phase:")
+    lines.extend(
+        "  " + line
+        for line in _format_table(headers, _stats_rows(analysis["phases"]))
+    )
+    lines.append("")
+    lines.append("exec latency by worker:")
+    lines.extend(
+        "  " + line
+        for line in _format_table(headers, _stats_rows(analysis["by_worker"]))
+    )
+    lines.append("")
+    lines.append("critical path by scenario:")
+    lines.extend(
+        "  " + line
+        for line in _format_table(
+            headers, _stats_rows(analysis["by_scenario"])
+        )
+    )
+    flame = analysis["flame"]
+    if flame:
+        lines.append("")
+        lines.append(f"flame summary (top {top} paths by total wall time):")
+        ordered = sorted(
+            flame.items(), key=lambda item: (-item[1]["total_ms"], item[0])
+        )[: max(0, top)]
+        rows = [
+            (path, str(int(node["count"])), f"{node['total_ms']:.1f}")
+            for path, node in ordered
+        ]
+        lines.extend(
+            "  " + line
+            for line in _format_table(("path", "count", "total_ms"), rows)
+        )
+    slowest = sorted(
+        analysis["runs"],
+        key=lambda run: -run["critical_path_ms"],
+    )[: max(0, min(top, 10))]
+    lines.append("")
+    lines.append("slowest runs:")
+    rows = [
+        (
+            f"{run['scenario']}#{run['run'][:8]}",
+            run["worker"],
+            f"{run['queue_wait_ms']:.1f}",
+            f"{run['exec_ms']:.1f}",
+            f"{run['drain_ms']:.1f}",
+            str(run["requeues"]),
+            f"{run['critical_path_ms']:.1f}",
+        )
+        for run in slowest
+    ]
+    lines.extend(
+        "  " + line
+        for line in _format_table(
+            ("run", "worker", "queue_ms", "exec_ms", "drain_ms", "requeues",
+             "critical_ms"),
+            rows,
+        )
+    )
+    return "\n".join(lines)

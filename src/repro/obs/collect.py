@@ -1,0 +1,410 @@
+"""Distributed trace collection: one campaign trace from many workers.
+
+Process-local telemetry (PR 7) fragments the moment a sweep fans out:
+each ``SocketQueueBackend`` worker writes its own trace with no shared
+context.  This module closes that gap with three pieces:
+
+* :class:`TraceContext` — the ``(campaign_id, run_key, parent_span_id)``
+  stamp a coordinator attaches to every dispatched run.  It travels as
+  plain JSON on the existing wire protocol (the ``ctx`` field of a
+  ``run`` message), preserving the never-unpickle rule — nothing about
+  collection adds a pickle boundary.
+* :func:`collect_run` — the worker-side capture scope: executes one run
+  under a fresh per-thread :class:`~repro.obs.registry.Telemetry`
+  (installed via :func:`repro.obs.thread_session`, so a process-global
+  session and concurrent in-process workers are unaffected) buffering
+  into a :class:`~repro.obs.trace.MemorySink`, and returns the records
+  as a JSON chunk bracketed by two wall-clock samples.
+* :class:`TraceCollector` — the coordinator side: hands out contexts,
+  merges returned chunks into one rotation-aware campaign trace, and
+  normalises per-worker clock skew.  The offset estimate is the
+  NTP-style midpoint over the dispatch/result exchange::
+
+      offset = ((wall0 - request_s) + (wall1 - response_s)) / 2
+
+  where ``request_s``/``response_s`` are coordinator clock samples
+  around the exchange and ``wall0``/``wall1`` the worker's samples
+  around the run.  Worker epoch stamps (``t0_s``/``t_s``) are shifted
+  by ``-offset`` onto the coordinator clock; simulated timestamps and
+  durations need no correction and are **never touched**, so sim-time
+  telemetry stays byte-identical to a local run.
+
+Collection is strictly out-of-band, same bar as the rest of ``obs``:
+result rows and result sinks are byte-identical with collection on or
+off, across every backend.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from .registry import Telemetry
+from .trace import TRACE_SCHEMA, MemorySink, TraceSink
+
+#: Per-chunk record cap — a runaway (or hostile) worker cannot balloon
+#: the merged trace; overflow is counted, not silently dropped.
+MAX_CHUNK_RECORDS = 20_000
+
+#: The campaign root span id every run context points at.
+ROOT_SPAN_ID = "c0"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The collection context one dispatched run carries.
+
+    ``campaign`` names the merged trace, ``run`` is the
+    :meth:`~repro.scenarios.sweep.engine.RunKey.token` the chunk is
+    filed under, ``scenario``/``seed`` ride along so merged records are
+    self-describing, and ``parent_span`` links worker root spans under
+    the collector's campaign span.
+    """
+
+    campaign: str
+    run: str
+    scenario: str
+    seed: int
+    parent_span: str = ROOT_SPAN_ID
+
+    def stamp(self) -> Dict[str, Any]:
+        """The ``ctx`` dict stamped onto every captured trace record."""
+        return {
+            "campaign": self.campaign,
+            "run": self.run,
+            "scenario": self.scenario,
+            "seed": self.seed,
+        }
+
+    def as_wire(self) -> Dict[str, Any]:
+        """Plain-JSON form for the socket protocol (never pickled)."""
+        return {
+            "campaign": self.campaign,
+            "run": self.run,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "parent_span": self.parent_span,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "TraceContext":
+        """Validate and rebuild a context from untrusted wire JSON."""
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"trace context must be a mapping, got {type(payload).__name__}"
+            )
+        campaign = payload.get("campaign")
+        run = payload.get("run")
+        scenario = payload.get("scenario")
+        seed = payload.get("seed")
+        parent = payload.get("parent_span", ROOT_SPAN_ID)
+        if not all(isinstance(v, str) and v for v in (campaign, run, scenario)):
+            raise ConfigurationError(
+                "trace context needs non-empty campaign/run/scenario strings"
+            )
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ConfigurationError("trace context seed must be an int")
+        if not isinstance(parent, str) or not parent:
+            raise ConfigurationError(
+                "trace context parent_span must be a non-empty string"
+            )
+        return cls(campaign, run, scenario, seed, parent)
+
+
+def collect_run(
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    *,
+    context: TraceContext,
+    worker: str,
+) -> Tuple[Any, Dict[str, Any]]:
+    """Execute ``fn(*args)`` under a capture registry; return a chunk.
+
+    A fresh :class:`Telemetry` with a :class:`MemorySink` is installed
+    for this thread only (:func:`repro.obs.thread_session`), so all
+    facade instrumentation inside the run — engine spans, scheduler
+    counters, sim-clock bindings — lands in the buffer with the
+    context's ``ctx`` stamp, regardless of what the process-global
+    session is doing.  The returned chunk is plain JSON::
+
+        {"worker": ..., "run": ..., "wall0_s": ..., "wall1_s": ...,
+         "records": [...]}
+
+    ``wall0_s``/``wall1_s`` bracket the run on the worker's clock and
+    feed the collector's skew estimate.
+    """
+    from . import thread_session  # deferred: repro.obs imports this module
+
+    sink = MemorySink()
+    registry = Telemetry(
+        trace=sink, context=context.stamp(), parent_span=context.parent_span
+    )
+    wall0 = time.time()
+    try:
+        with thread_session(registry):
+            with registry.span("run", worker=worker):
+                result = fn(*args)
+    finally:
+        registry.close()  # flush counter/gauge/hist deltas into the buffer
+    wall1 = time.time()
+    chunk = {
+        "worker": worker,
+        "run": context.run,
+        "wall0_s": round(wall0, 6),
+        "wall1_s": round(wall1, 6),
+        "records": sink.records,
+    }
+    return result, chunk
+
+
+def _as_number(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+class TraceCollector:
+    """Coordinator-side merge of per-run trace chunks (thread-safe).
+
+    One collector serves one campaign: it mints the campaign id, hands
+    out :class:`TraceContext` stamps (:meth:`context_for`), folds every
+    returned chunk into a single rotation-aware trace
+    (:meth:`add_chunk` — skew-normalised, worker-stamped, bracketed by
+    ``collect.dispatch``/``collect.result`` events), records coordinator
+    phases (:meth:`on_drain`, :meth:`on_requeue`), and finishes with
+    summary gauges plus the campaign root span (:meth:`close`).
+
+    Args:
+        trace: the merged trace — a path (a rotating
+            :class:`TraceSink` is created and owned) or a ready sink
+            (borrowed; the caller closes it).
+        sweep: sweep name folded into the generated campaign id.
+        campaign: explicit campaign id (tests); default is generated
+            from the sweep name, pid, and wall clock.
+    """
+
+    def __init__(
+        self,
+        trace: Union[str, TraceSink, MemorySink],
+        *,
+        sweep: str = "sweep",
+        campaign: Optional[str] = None,
+    ) -> None:
+        if isinstance(trace, str):
+            self.sink: Any = TraceSink(trace)
+            self._owns_sink = True
+        else:
+            self.sink = trace
+            self._owns_sink = False
+        self._t0 = time.time()
+        self.campaign = campaign or (
+            f"{sweep}-{os.getpid()}-{int(self._t0 * 1000) & 0xFFFFFFFF:08x}"
+        )
+        self.root_span = ROOT_SPAN_ID
+        self._lock = threading.Lock()
+        self._closed = False
+        self.stats: Dict[str, float] = {
+            "chunks": 0,
+            "records": 0,
+            "dropped": 0,
+            "requeues": 0,
+            "max_abs_skew_ms": 0.0,
+        }
+        self._workers: set = set()
+        self.sink.write(
+            {
+                "type": "meta",
+                "schema": TRACE_SCHEMA,
+                "collect": True,
+                "campaign": self.campaign,
+                "pid": os.getpid(),
+                "wall_s": round(self._t0, 6),
+            }
+        )
+
+    # -- context hand-out --------------------------------------------------
+
+    def context_for(self, key: Any) -> TraceContext:
+        """The :class:`TraceContext` for one run key (duck-typed:
+        anything with ``token()``, ``scenario``, and ``seed``)."""
+        return TraceContext(
+            campaign=self.campaign,
+            run=key.token(),
+            scenario=key.scenario,
+            seed=key.seed,
+            parent_span=self.root_span,
+        )
+
+    def _ctx(self, run: Optional[str]) -> Dict[str, Any]:
+        ctx: Dict[str, Any] = {"campaign": self.campaign}
+        if run:
+            ctx["run"] = run
+        return ctx
+
+    # -- chunk merging -----------------------------------------------------
+
+    def add_chunk(
+        self,
+        chunk: Any,
+        *,
+        request_s: Optional[float] = None,
+        response_s: Optional[float] = None,
+    ) -> None:
+        """Merge one worker chunk into the campaign trace.
+
+        ``request_s``/``response_s`` are coordinator clock samples
+        taken around the dispatch/result exchange; when present (socket
+        and serial paths) they produce the skew offset applied to the
+        chunk's wall-epoch stamps and a ``collect.dispatch`` /
+        ``collect.result`` event pair the analyzer turns into queue
+        wait.  Malformed chunks are counted as drops, never raised —
+        a misbehaving worker must not kill the campaign.
+        """
+        if not isinstance(chunk, Mapping):
+            with self._lock:
+                self.stats["dropped"] += 1
+            return
+        records = chunk.get("records")
+        if not isinstance(records, list):
+            records = []
+        worker = chunk.get("worker")
+        worker = worker if isinstance(worker, str) and worker else "?"
+        run = chunk.get("run")
+        run = run if isinstance(run, str) else None
+        wall0 = _as_number(chunk.get("wall0_s"))
+        wall1 = _as_number(chunk.get("wall1_s"))
+        offset = 0.0
+        if (
+            request_s is not None
+            and response_s is not None
+            and wall0 is not None
+            and wall1 is not None
+        ):
+            offset = ((wall0 - request_s) + (wall1 - response_s)) / 2.0
+        overflow = max(0, len(records) - MAX_CHUNK_RECORDS)
+        kept = records[:MAX_CHUNK_RECORDS]
+        with self._lock:
+            self.stats["chunks"] += 1
+            self._workers.add(worker)
+            skew_ms = abs(offset) * 1000.0
+            if skew_ms > self.stats["max_abs_skew_ms"]:
+                self.stats["max_abs_skew_ms"] = skew_ms
+            self.stats["dropped"] += overflow
+        if request_s is not None:
+            self.sink.write(
+                {
+                    "type": "event",
+                    "name": "collect.dispatch",
+                    "t_s": round(request_s, 6),
+                    "worker": worker,
+                    "ctx": self._ctx(run),
+                }
+            )
+        written = 0
+        for record in kept:
+            if not isinstance(record, dict):
+                with self._lock:
+                    self.stats["dropped"] += 1
+                continue
+            out = dict(record)
+            out["worker"] = worker
+            if offset:
+                for field in ("t0_s", "t_s"):
+                    stamp = _as_number(out.get(field))
+                    if stamp is not None:
+                        out[field] = round(stamp - offset, 6)
+            self.sink.write(out)
+            written += 1
+        if response_s is not None:
+            self.sink.write(
+                {
+                    "type": "event",
+                    "name": "collect.result",
+                    "t_s": round(response_s, 6),
+                    "worker": worker,
+                    "skew_ms": round(offset * 1000.0, 3),
+                    "ctx": self._ctx(run),
+                }
+            )
+        with self._lock:
+            self.stats["records"] += written
+
+    # -- coordinator-side phases -------------------------------------------
+
+    def on_requeue(self, key: Any, worker: str) -> None:
+        """A checked-out run bounced back to the queue (worker died)."""
+        with self._lock:
+            self.stats["requeues"] += 1
+        self.sink.write(
+            {
+                "type": "event",
+                "name": "collect.requeue",
+                "t_s": round(time.time(), 6),
+                "worker": worker,
+                "ctx": self._ctx(key.token()),
+            }
+        )
+
+    def on_drain(self, key: Any, wall_ms: float) -> None:
+        """The coordinator-side drain (sink/cache write) of one run."""
+        self.sink.write(
+            {
+                "type": "span",
+                "name": "run.drain",
+                "ms": round(wall_ms, 6),
+                "t0_s": round(time.time() - wall_ms / 1000.0, 6),
+                "parent": self.root_span,
+                "worker": "coordinator",
+                "ctx": {
+                    "campaign": self.campaign,
+                    "run": key.token(),
+                    "scenario": key.scenario,
+                    "seed": key.seed,
+                },
+            }
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def finish(self, **gauges: float) -> None:
+        """Record campaign summary gauges (``collect.<name>``)."""
+        merged = dict(self.stats)
+        merged["workers"] = len(self._workers)
+        merged.update(gauges)
+        for name in sorted(merged):
+            self.sink.write(
+                {
+                    "type": "gauge",
+                    "name": f"collect.{name}",
+                    "value": merged[name],
+                    "ctx": self._ctx(None),
+                }
+            )
+
+    def close(self) -> None:
+        """Write the campaign root span and release an owned sink."""
+        if self._closed:
+            return
+        self._closed = True
+        now = time.time()
+        self.sink.write(
+            {
+                "type": "span",
+                "name": "campaign",
+                "span_id": self.root_span,
+                "ms": round((now - self._t0) * 1000.0, 6),
+                "t0_s": round(self._t0, 6),
+                "worker": "coordinator",
+                "ctx": self._ctx(None),
+            }
+        )
+        if self._owns_sink:
+            self.sink.close()
+        else:
+            self.sink.flush()

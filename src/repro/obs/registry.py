@@ -2,10 +2,13 @@
 
 One :class:`Telemetry` instance aggregates everything a process records
 between ``enable()`` and ``disable()``.  Counters and gauges are keyed
-by ``(name, sorted labels)``; histograms use fixed bucket edges so two
-registries (or two flush deltas) merge by plain addition; spans
-aggregate per *name* (labels ride only on the trace lines, keeping the
-in-memory footprint independent of run count).
+by ``(name, sorted labels)``; histograms use fixed bucket edges with
+**half-open** ``[lo, hi)`` buckets (see :class:`Histogram` — a value
+exactly on an edge always lands in the bucket above, in the direct path
+and the flush-delta path alike) so two registries (or two flush deltas)
+merge by plain addition; spans aggregate per *name* (labels ride only
+on the trace lines, keeping the in-memory footprint independent of run
+count).
 
 Spans record wall time always and simulated time whenever a simulator
 clock is bound (:meth:`Telemetry.bind_sim_clock` — the campaign runner
@@ -47,10 +50,15 @@ def label_text(items: LabelItems) -> str:
 class Histogram:
     """Fixed-edge histogram: ``len(edges) + 1`` buckets plus sum/count.
 
-    Bucket ``i`` counts observations ``<= edges[i]``; the final bucket
-    is the overflow.  Fixed edges make histograms mergeable by adding
-    bucket counts — the property the trace's flush-delta encoding and
-    ``repro obs report`` both rely on.
+    Buckets are **half-open intervals** ``[lo, hi)``: bucket ``i``
+    counts observations with ``edges[i-1] <= value < edges[i]`` (the
+    first bucket is ``(-inf, edges[0])``, the final bucket is the
+    ``>= edges[-1]`` overflow).  A value exactly equal to an edge lands
+    in the bucket *above* it, everywhere — direct :meth:`observe`, the
+    flush-delta trace encoding, and ``repro obs report`` all agree, so
+    merged traces never disagree with in-process aggregates on boundary
+    values.  Fixed edges make histograms mergeable by adding bucket
+    counts — the property the trace's flush-delta encoding relies on.
     """
 
     __slots__ = ("edges", "counts", "total", "count")
@@ -68,7 +76,7 @@ class Histogram:
     def observe(self, value: float) -> None:
         index = 0
         for index, edge in enumerate(self.edges):
-            if value <= edge:
+            if value < edge:  # half-open [lo, hi): edge values go above
                 break
         else:
             index = len(self.edges)
@@ -94,10 +102,17 @@ class Span:
 
     Context manager: wall time runs from ``__enter__`` to ``__exit__``;
     simulated time is captured when the owning registry has a simulator
-    clock bound at both ends.
+    clock bound at both ends.  When the registry carries a collection
+    context (distributed trace capture) the span additionally gets a
+    registry-unique id, a parent id from the per-thread span stack, and
+    a ``t0_s`` wall-epoch start stamp so the coordinator can skew-align
+    and tree-assemble spans from many workers.
     """
 
-    __slots__ = ("_telemetry", "name", "labels", "_wall0", "_sim0")
+    __slots__ = (
+        "_telemetry", "name", "labels", "_wall0", "_sim0",
+        "_span_id", "_parent", "_t0_s",
+    )
 
     def __init__(
         self, telemetry: "Telemetry", name: str, labels: LabelItems
@@ -107,10 +122,17 @@ class Span:
         self.labels = labels
         self._wall0 = 0.0
         self._sim0: Optional[float] = None
+        self._span_id: Optional[str] = None
+        self._parent: Optional[str] = None
+        self._t0_s: Optional[float] = None
 
     def __enter__(self) -> "Span":
-        clock = self._telemetry._sim_clock
+        telemetry = self._telemetry
+        clock = telemetry._sim_clock
         self._sim0 = clock() if clock is not None else None
+        if telemetry.context is not None:
+            self._span_id, self._parent = telemetry._enter_span()
+            self._t0_s = time.time()
         self._wall0 = time.perf_counter()
         return self
 
@@ -120,7 +142,10 @@ class Span:
         clock = self._telemetry._sim_clock
         if clock is not None and self._sim0 is not None:
             sim_ms = clock() - self._sim0
-        self._telemetry._record_span(self.name, self.labels, wall_ms, sim_ms)
+        self._telemetry._record_span(
+            self.name, self.labels, wall_ms, sim_ms,
+            span_id=self._span_id, parent=self._parent, t0_s=self._t0_s,
+        )
         return False
 
 
@@ -128,12 +153,33 @@ class Telemetry:
     """A process-local telemetry registry (thread-safe).
 
     Args:
-        trace: optional :class:`TraceSink` receiving every span/event as
-            it happens and counter/gauge/histogram deltas on flush.
+        trace: optional trace sink (any object with ``write``/``flush``/
+            ``close``, e.g. :class:`TraceSink` or
+            :class:`~repro.obs.trace.MemorySink`) receiving every
+            span/event as it happens and counter/gauge/histogram deltas
+            on flush.
+        context: optional collection-context stamp (``campaign``,
+            ``run``, ...).  When set, every trace record carries it as
+            ``ctx``, spans gain ids/parents/epoch starts, and events
+            gain wall stamps — the extra fields distributed trace
+            merging needs.  ``None`` (the default) keeps records in
+            their compact process-local form.
+        parent_span: the collector-side span id adopted as the parent
+            of this registry's root spans.
     """
 
-    def __init__(self, trace: Optional[TraceSink] = None) -> None:
+    def __init__(
+        self,
+        trace: Optional[TraceSink] = None,
+        *,
+        context: Optional[Mapping[str, Any]] = None,
+        parent_span: Optional[str] = None,
+    ) -> None:
         self.trace = trace
+        self.context: Optional[Dict[str, Any]] = (
+            dict(context) if context else None
+        )
+        self.parent_span = parent_span
         self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, LabelItems], float] = {}
         self._gauges: Dict[Tuple[str, LabelItems], float] = {}
@@ -142,6 +188,8 @@ class Telemetry:
         self._flushed_counters: Dict[Tuple[str, LabelItems], float] = {}
         self._flushed_hist_counts: Dict[Tuple[str, LabelItems], List[int]] = {}
         self._sim_clock: Optional[Callable[[], float]] = None
+        self._span_seq = 0
+        self._span_stack = threading.local()
         #: Instrumentation call count — the obs overhead benchmark uses
         #: this to bound what the *disabled* guard would have cost.
         self.touches = 0
@@ -214,10 +262,30 @@ class Telemetry:
                 record["labels"] = dict(items)
             if sim_ms is not None:
                 record["sim_ms"] = round(sim_ms, 6)
+            if self.context is not None:
+                record["ctx"] = self.context
+                record["t_s"] = round(time.time(), 6)
             self.trace.write(record)
 
     def span(self, name: str, **labels: Any) -> Span:
         return Span(self, name, label_key(labels))
+
+    def _enter_span(self) -> Tuple[str, Optional[str]]:
+        """Allocate a span id and resolve its parent (context mode only).
+
+        Parents come from a per-thread stack of open spans, so nested
+        spans on one thread form a tree; a thread's outermost span
+        adopts :attr:`parent_span` (the collector's campaign root).
+        """
+        stack = getattr(self._span_stack, "ids", None)
+        if stack is None:
+            stack = self._span_stack.ids = []
+        with self._lock:
+            self._span_seq += 1
+            span_id = f"s{self._span_seq}"
+        parent = stack[-1] if stack else self.parent_span
+        stack.append(span_id)
+        return span_id, parent
 
     def _record_span(
         self,
@@ -225,7 +293,15 @@ class Telemetry:
         labels: LabelItems,
         wall_ms: float,
         sim_ms: Optional[float],
+        *,
+        span_id: Optional[str] = None,
+        parent: Optional[str] = None,
+        t0_s: Optional[float] = None,
     ) -> None:
+        if span_id is not None:
+            stack = getattr(self._span_stack, "ids", None)
+            if stack and stack[-1] == span_id:
+                stack.pop()
         with self._lock:
             self.touches += 1
             stats = self._spans.get(name)
@@ -252,6 +328,14 @@ class Telemetry:
                 record["labels"] = dict(labels)
             if sim_ms is not None:
                 record["sim_ms"] = round(sim_ms, 6)
+            if span_id is not None:
+                record["span_id"] = span_id
+                if parent is not None:
+                    record["parent"] = parent
+                if t0_s is not None:
+                    record["t0_s"] = round(t0_s, 6)
+            if self.context is not None:
+                record["ctx"] = self.context
             self.trace.write(record)
 
     # -- snapshots ---------------------------------------------------------
@@ -346,11 +430,15 @@ class Telemetry:
             }
             if items:
                 record["labels"] = dict(items)
+            if self.context is not None:
+                record["ctx"] = self.context
             self.trace.write(record)
         for name, items, value in gauge_lines:
             record = {"type": "gauge", "name": name, "value": value}
             if items:
                 record["labels"] = dict(items)
+            if self.context is not None:
+                record["ctx"] = self.context
             self.trace.write(record)
         for name, items, edges, delta_counts in hist_lines:
             record = {
@@ -361,6 +449,8 @@ class Telemetry:
             }
             if items:
                 record["labels"] = dict(items)
+            if self.context is not None:
+                record["ctx"] = self.context
             self.trace.write(record)
         self.trace.flush()
 

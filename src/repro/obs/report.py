@@ -184,8 +184,10 @@ def render_summary(summary: TraceSummary) -> str:
             count = sum(histogram["counts"])
             lines.append(f"  {name}  (n={count})")
             edges = histogram["edges"]
-            labels = [f"<={edge:g}" for edge in edges] + [
-                f">{edges[-1]:g}" if edges else "all"
+            # Half-open [lo, hi) buckets: each label is its exclusive
+            # upper edge; the overflow bucket includes the last edge.
+            labels = [f"<{edge:g}" for edge in edges] + [
+                f">={edges[-1]:g}" if edges else "all"
             ]
             for label, bucket in zip(labels, histogram["counts"]):
                 if bucket:

@@ -30,7 +30,16 @@ import json
 import os
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..errors import ConfigurationError
 
@@ -136,6 +145,38 @@ class TraceSink:
         self.close()
 
 
+class MemorySink:
+    """An in-memory trace sink: records collect into a plain list.
+
+    Duck-typed against :class:`TraceSink` (``write``/``flush``/
+    ``close``), so a :class:`~repro.obs.registry.Telemetry` capture
+    registry can buffer a single run's records for shipping over the
+    result socket instead of touching the filesystem.  Records are
+    stored as the dicts the registry produced (JSON-able by the same
+    contract the file sink enforces at write time).
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def flush(self) -> None:  # pragma: no cover - nothing buffered
+        pass
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    def __enter__(self) -> "MemorySink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 def trace_files(path: str) -> List[str]:
     """The live trace plus its rotations, oldest first."""
     paths: List[str] = []
@@ -184,3 +225,92 @@ def iter_trace(
                 continue
             if isinstance(record, dict):
                 yield record
+
+
+def follow_trace(
+    path: str,
+    *,
+    poll_s: float = 0.5,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield records appended to a live trace, surviving rotations.
+
+    The rotation-safe tail: the open handle follows the *renamed* file
+    when :class:`TraceSink` rotates (``path`` -> ``path.1``), so after
+    re-stat detects the swap (inode change, or the live file shrinking
+    under our read position) the old handle is **drained to its end** —
+    including any line that was only partially flushed when we last
+    read — before the new live file is opened from offset zero.
+    Holding a byte offset into ``path`` across a rotation, as the old
+    tail did, silently dropped the tail of every rotated-out file.
+
+    Args:
+        path: the live trace file (rotations follow TraceSink naming).
+        poll_s: sleep between polls while no new data is available.
+        stop: optional callable; once it returns true and the current
+            file has no unread data, the generator returns (tests use
+            this — the CLI tails forever until interrupted).
+    """
+
+    def _parse(pending: str, chunk: str) -> Any:
+        pending += chunk
+        complete, _sep, rest = pending.rpartition("\n")
+        records = []
+        if _sep:
+            for line in complete.split("\n"):
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    record = json.loads(text)
+                except ValueError:
+                    continue  # torn or foreign line: skip, keep tailing
+                if isinstance(record, dict):
+                    records.append(record)
+        return records, rest
+
+    handle = None
+    inode = None
+    pending = ""
+    try:
+        while True:
+            if handle is None:
+                try:
+                    handle = open(path, "r", encoding="utf-8")
+                    inode = os.fstat(handle.fileno()).st_ino
+                except OSError:
+                    if stop is not None and stop():
+                        return
+                    time.sleep(poll_s)
+                    continue
+            chunk = handle.read()
+            if chunk:
+                records, pending = _parse(pending, chunk)
+                for record in records:
+                    yield record
+                continue
+            # No new data: has the live file been rotated (new inode) or
+            # truncated (backups=0 rotation) underneath our handle?
+            rotated = False
+            try:
+                stat = os.stat(path)
+                if stat.st_ino != inode or stat.st_size < handle.tell():
+                    rotated = True
+            except OSError:
+                rotated = True
+            if rotated:
+                # Drain the old file through the still-open handle (it
+                # follows the rename), then start over on the new file.
+                records, pending = _parse(pending, handle.read())
+                for record in records:
+                    yield record
+                handle.close()
+                handle = None
+                pending = ""  # a writer that died mid-line stays dead
+                continue
+            if stop is not None and stop():
+                return
+            time.sleep(poll_s)
+    finally:
+        if handle is not None:
+            handle.close()

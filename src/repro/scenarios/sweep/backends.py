@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import abc
 import multiprocessing
+import os
 import pickle
 import sys
+import time
 import warnings
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...errors import ConfigurationError
+from ...obs.collect import TraceCollector, TraceContext, collect_run
 from ...reporting import Row
 from ..registry import get_scenario, register
 from .engine import RunKey, execute_run
@@ -51,6 +54,7 @@ class SweepBackend(abc.ABC):
         emit: EmitFn,
         *,
         cache_dir: Optional[str] = None,
+        collector: Optional[TraceCollector] = None,
     ) -> None:
         """Run every key, reporting rows through ``emit``.
 
@@ -58,6 +62,14 @@ class SweepBackend(abc.ABC):
         ``emit`` delivers, but distributed backends may announce the
         directory to remote workers so results also land in the shared
         per-run cache straight from the worker.
+
+        ``collector`` turns on distributed trace collection: each run
+        executes under a per-run capture registry
+        (:func:`repro.obs.collect.collect_run`) and its record chunk is
+        merged through ``collector.add_chunk`` — strictly out-of-band,
+        rows are byte-identical either way.  The engine omits the
+        keyword entirely when collection is off, so pre-existing
+        third-party backends keep working unchanged.
         """
 
 
@@ -72,9 +84,22 @@ class SerialBackend(SweepBackend):
         emit: EmitFn,
         *,
         cache_dir: Optional[str] = None,
+        collector: Optional[TraceCollector] = None,
     ) -> None:
+        if collector is None:
+            for key in keys:
+                emit(key, execute_run(key))
+            return
         for key in keys:
-            emit(key, execute_run(key))
+            context = collector.context_for(key)
+            request_s = time.time()
+            rows, chunk = collect_run(
+                execute_run, (key,), context=context, worker="serial"
+            )
+            collector.add_chunk(
+                chunk, request_s=request_s, response_s=time.time()
+            )
+            emit(key, rows)
 
 
 # ---------------------------------------------------------------------------
@@ -122,6 +147,22 @@ def _pool_context() -> Tuple[str, Any]:
     return method, multiprocessing.get_context(method)
 
 
+def _execute_collected(
+    item: Tuple[RunKey, Dict[str, Any]]
+) -> Tuple[List[Row], Dict[str, Any]]:
+    """Pool-worker entry point for a collected run (must be top-level).
+
+    The context crosses the pool boundary in wire form (plain dicts
+    pickle fine and match the socket path), and the chunk rides back as
+    the second element of the result tuple.
+    """
+    key, wire = item
+    context = TraceContext.from_wire(wire)
+    return collect_run(
+        execute_run, (key,), context=context, worker=f"pool-{os.getpid()}"
+    )
+
+
 class ProcessPoolBackend(SweepBackend):
     """A local ``multiprocessing`` pool, byte-identical to serial.
 
@@ -144,9 +185,12 @@ class ProcessPoolBackend(SweepBackend):
         emit: EmitFn,
         *,
         cache_dir: Optional[str] = None,
+        collector: Optional[TraceCollector] = None,
     ) -> None:
         if self.workers < 2 or len(keys) < 2:
-            SerialBackend().execute(keys, emit, cache_dir=cache_dir)
+            SerialBackend().execute(
+                keys, emit, cache_dir=cache_dir, collector=collector
+            )
             return
         method, ctx = _pool_context()
         extra_specs: bytes = pickle.dumps([])
@@ -166,14 +210,30 @@ class ProcessPoolBackend(SweepBackend):
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                SerialBackend().execute(keys, emit, cache_dir=cache_dir)
+                SerialBackend().execute(
+                    keys, emit, cache_dir=cache_dir, collector=collector
+                )
                 return
         with ctx.Pool(
             processes=min(self.workers, len(keys)),
             initializer=_init_worker,
             initargs=(list(sys.path), extra_specs),
         ) as pool:
-            for key, rows in zip(keys, pool.imap(execute_run, list(keys))):
+            if collector is None:
+                for key, rows in zip(keys, pool.imap(execute_run, list(keys))):
+                    emit(key, rows)
+                return
+            # Dispatch instants are not observable through imap, so the
+            # pool path ships no request/response samples: chunks merge
+            # unshifted (same-host workers share the clock anyway) and
+            # queue wait is reported only where dispatch events exist.
+            items = [
+                (key, collector.context_for(key).as_wire()) for key in keys
+            ]
+            for key, (rows, chunk) in zip(
+                keys, pool.imap(_execute_collected, items)
+            ):
+                collector.add_chunk(chunk)
                 emit(key, rows)
 
 

@@ -36,6 +36,15 @@ connection checked out — the coordinator never unpickles client data.
 Both sides enable TCP keepalive so a peer that vanishes without a FIN
 (power loss, network partition) is detected and its run re-queued
 instead of hanging the sweep.
+
+Distributed trace collection rides the same frames: with a
+:class:`~repro.obs.collect.TraceCollector` attached, each ``run``
+message additionally carries the plain-JSON trace context (``"ctx"``)
+and each ``result`` message may carry the captured span/counter chunk
+(``"trace"`` — plain JSON, validated field by field, **never**
+unpickled).  The coordinator samples its own clock around the exchange
+to estimate each worker's wall offset; a worker that predates
+collection simply ignores ``ctx`` and returns no chunk.
 """
 
 from __future__ import annotations
@@ -53,6 +62,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tu
 
 from ... import obs
 from ...errors import ConfigurationError
+from ...obs.collect import TraceCollector, TraceContext, collect_run
 from .backends import EmitFn, SweepBackend, install_shipped_specs, pickled_sweep_specs
 from .engine import RunKey, execute_run, store_cached
 
@@ -119,9 +129,11 @@ class _Coordinator:
         *,
         specs_b64: str,
         cache_dir: Optional[str],
+        collector: Optional[TraceCollector] = None,
     ) -> None:
         self.specs_b64 = specs_b64
         self.cache_dir = cache_dir
+        self.collector = collector
         self._pending: Deque[RunKey] = collections.deque(keys)
         self._remaining: Set[RunKey] = set(keys)
         self._emit = emit
@@ -169,10 +181,18 @@ class _Coordinator:
                     return key
                 self._changed.wait(timeout=0.1)
 
-    def complete(self, key: RunKey, rows: List[Dict[str, Any]]) -> None:
+    def complete(
+        self,
+        key: RunKey,
+        rows: List[Dict[str, Any]],
+        *,
+        chunk: Optional[Dict[str, Any]] = None,
+        request_s: Optional[float] = None,
+        response_s: Optional[float] = None,
+    ) -> None:
         with self._changed:
             if key not in self._remaining:
-                return  # duplicate delivery of a re-queued run
+                return  # duplicate delivery of a re-queued run (chunk too)
             self._remaining.discard(key)
             self.worker_stats["results"] += 1
             checked_out = self._checkout_at.pop(key, None)
@@ -185,6 +205,12 @@ class _Coordinator:
             except BaseException as exc:  # surface sink/recorder errors
                 self.failure = exc
             self._changed.notify_all()
+        if self.collector is not None and chunk is not None:
+            # Merge only the accepted (first) delivery; skew-normalise
+            # with the coordinator clock samples around this exchange.
+            self.collector.add_chunk(
+                chunk, request_s=request_s, response_s=response_s
+            )
         if checked_out is not None:
             obs.observe(
                 "coordinator.run_latency_ms",
@@ -208,6 +234,8 @@ class _Coordinator:
                 key.canonical(),
             )
             obs.event("coordinator.requeue", worker=worker)
+            if self.collector is not None:
+                self.collector.on_requeue(key, worker)
 
     def abort(self, exc: BaseException) -> None:
         with self._changed:
@@ -229,6 +257,7 @@ class _Coordinator:
 def _serve_client(conn: socket.socket, coordinator: _Coordinator) -> None:
     """One worker connection: handshake, then the next/run/result loop."""
     checked_out: Optional[RunKey] = None
+    request_s: Optional[float] = None
     worker = "?"
     connected = False
     reader = conn.makefile("r", encoding="utf-8")
@@ -257,17 +286,21 @@ def _serve_client(conn: socket.socket, coordinator: _Coordinator) -> None:
                     _send(writer, {"type": "done"})
                     return
                 checked_out = key
-                _send(
-                    writer,
-                    {
-                        "type": "run",
-                        "key": _encode_key(key),
-                        "token": key.token(),
-                    },
-                )
+                dispatch = {
+                    "type": "run",
+                    "key": _encode_key(key),
+                    "token": key.token(),
+                }
+                if coordinator.collector is not None:
+                    dispatch["ctx"] = (
+                        coordinator.collector.context_for(key).as_wire()
+                    )
+                request_s = time.time()
+                _send(writer, dispatch)
             elif kind == "result":
                 # Results are matched against the run this connection
                 # checked out — never unpickled from the client.
+                response_s = time.time()
                 rows = message.get("rows")
                 if (
                     checked_out is None
@@ -277,8 +310,16 @@ def _serve_client(conn: socket.socket, coordinator: _Coordinator) -> None:
                     raise ConnectionError(
                         "result does not match the checked-out run"
                     )
-                coordinator.complete(checked_out, rows)
+                chunk = message.get("trace")
+                coordinator.complete(
+                    checked_out,
+                    rows,
+                    chunk=chunk if isinstance(chunk, dict) else None,
+                    request_s=request_s,
+                    response_s=response_s,
+                )
                 checked_out = None
+                request_s = None
             elif kind == "error":
                 # The run itself failed on the worker: re-queueing would
                 # just crash the next worker too, so fail the sweep.
@@ -355,6 +396,7 @@ class SocketQueueBackend(SweepBackend):
         emit: EmitFn,
         *,
         cache_dir: Optional[str] = None,
+        collector: Optional[TraceCollector] = None,
     ) -> None:
         if not keys:
             return
@@ -374,6 +416,7 @@ class SocketQueueBackend(SweepBackend):
             emit,
             specs_b64=base64.b64encode(specs).decode("ascii"),
             cache_dir=os.path.abspath(cache_dir) if cache_dir else None,
+            collector=collector,
         )
         server = socket.create_server((self.host, self.port))
         server.settimeout(0.2)
@@ -489,8 +532,21 @@ def run_worker(
                 raise ConnectionError(f"expected run/done, got {kind!r}")
             key = _decode_key(message["key"])
             token = message.get("token") or key.token()
+            context: Optional[TraceContext] = None
+            ctx_wire = message.get("ctx")
+            if ctx_wire is not None:
+                try:
+                    context = TraceContext.from_wire(ctx_wire)
+                except ConfigurationError:
+                    context = None  # malformed context: run uncollected
+            chunk: Optional[Dict[str, Any]] = None
             try:
-                rows = execute_run(key)
+                if context is not None:
+                    rows, chunk = collect_run(
+                        execute_run, (key,), context=context, worker=name
+                    )
+                else:
+                    rows = execute_run(key)
             except Exception as exc:
                 # Tell the coordinator before dying: a failing run would
                 # otherwise be re-queued onto the next worker forever.
@@ -508,7 +564,14 @@ def run_worker(
                     store_cached(cache_dir, key, rows)
                 except OSError:
                     pass  # cache not shared/writable; coordinator persists
-            _send(writer, {"type": "result", "token": token, "rows": rows})
+            result: Dict[str, Any] = {
+                "type": "result",
+                "token": token,
+                "rows": rows,
+            }
+            if chunk is not None:
+                result["trace"] = chunk
+            _send(writer, result)
             executed += 1
     finally:
         try:

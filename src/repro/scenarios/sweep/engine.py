@@ -30,6 +30,7 @@ import itertools
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -422,6 +423,7 @@ def run_sweep(
     jsonl_path: Optional[str] = None,
     backend: Optional[Any] = None,
     sink: Optional[Any] = None,
+    collect: Optional[Any] = None,
 ) -> ExperimentResult:
     """Execute a sweep and collect every run's rows, in run-key order.
 
@@ -451,12 +453,34 @@ def run_sweep(
             backends existed.
         sink: a :class:`ResultSink` instance receiving every run's rows
             as the run completes (cache hits first), in run-key order.
+        collect: distributed trace collection — a path for the merged
+            campaign trace (a rotation-aware
+            :class:`~repro.obs.collect.TraceCollector` is created and
+            closed here) or a ready collector (borrowed: the caller
+            closes it).  Every executed run then runs under a per-run
+            capture registry and its spans/counters merge, skew-
+            normalised, into one campaign trace — strictly out-of-band;
+            rows/sinks are byte-identical with collection on or off.
     """
+    from ...obs.collect import TraceCollector
     from .backends import resolve_backend
     from .sinks import JsonlSink, ResultSink
 
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    collector: Optional[TraceCollector] = None
+    owns_collector = False
+    if collect is not None:
+        if isinstance(collect, TraceCollector):
+            collector = collect
+        elif isinstance(collect, str):
+            collector = TraceCollector(collect, sweep=name)
+            owns_collector = True
+        else:
+            raise ConfigurationError(
+                f"collect must be a trace path or a TraceCollector, "
+                f"got {collect!r}"
+            )
     keys = expand_runs(config)
     rows_by_key: Dict[RunKey, List[Row]] = {}
     if cache_dir is not None:
@@ -486,17 +510,32 @@ def run_sweep(
 
         if missing:
             def record(key: RunKey, rows: List[Row]) -> None:
+                drain0 = time.perf_counter()
                 with obs.span("run.drain", scenario=key.scenario):
                     rows_by_key[key] = rows
                     if cache_dir is not None:
                         store_cached(cache_dir, key, rows)
                     for each in sinks:
                         each.write_run(key, rows)
+                if collector is not None:
+                    collector.on_drain(
+                        key, (time.perf_counter() - drain0) * 1000.0
+                    )
 
             recorder = OrderedRecorder(missing, record)
             resolved = resolve_backend(backend, workers=workers)
             with obs.span("sweep", sweep=name, runs=len(missing)):
-                resolved.execute(missing, recorder.emit, cache_dir=cache_dir)
+                if collector is not None:
+                    resolved.execute(
+                        missing,
+                        recorder.emit,
+                        cache_dir=cache_dir,
+                        collector=collector,
+                    )
+                else:
+                    resolved.execute(
+                        missing, recorder.emit, cache_dir=cache_dir
+                    )
             recorder.check_complete()
     except BaseException:
         # A failed sweep must not leave sinks holding resources, but a
@@ -507,9 +546,22 @@ def run_sweep(
                 each.abort()
             except Exception:
                 pass
+        if owns_collector:
+            try:
+                collector.close()
+            except Exception:
+                pass
         raise
     for each in opened:
         each.close()
+    if collector is not None:
+        collector.finish(
+            runs_total=len(keys),
+            runs_executed=len(missing),
+            resume_hits=len(keys) - len(missing),
+        )
+        if owns_collector:
+            collector.close()
 
     parameters: Dict[str, Any] = {
         "scenarios": list(config.scenarios),

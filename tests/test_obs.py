@@ -3,6 +3,7 @@ CLI, and the distributed coordinator's worker-churn accounting."""
 
 import json
 import logging
+import os
 import socket as socketlib
 import threading
 import time
@@ -506,3 +507,114 @@ class TestWorkerDisconnect:
         assert stats["results"] == 2
         assert stats["requeues"] == 0
         assert stats["connects"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Half-open histogram buckets
+# ---------------------------------------------------------------------------
+
+class TestHalfOpenHistogram:
+    def test_edge_values_land_in_bucket_above(self):
+        from repro.obs.registry import Histogram
+
+        histogram = Histogram(edges=(1.0, 10.0))
+        for value in (0.5, 1.0, 9.99, 10.0, 50.0):
+            histogram.observe(value)
+        # [lo, hi): 1.0 belongs to [1, 10), 10.0 to the >=10 overflow.
+        assert histogram.counts == [1, 2, 2]
+
+    def test_direct_and_flush_delta_paths_agree_on_boundaries(self):
+        from repro.obs.registry import Histogram
+        from repro.obs.report import aggregate_trace
+
+        values = (0.0, 1.0, 5.0, 10.0, 10.0)
+        direct = Histogram(edges=(1.0, 10.0))
+        for value in values:
+            direct.observe(value)
+        sink = obs.MemorySink()
+        registry = obs.Telemetry(trace=sink)
+        for value in values:
+            registry.observe("lat", value, buckets=(1.0, 10.0))
+        registry.close()
+        merged = aggregate_trace(sink.records)["histograms"]["lat"]
+        assert merged["counts"] == direct.counts == [1, 2, 2]
+
+    def test_report_labels_spell_out_the_convention(self):
+        from repro.obs.report import aggregate_trace, render_summary
+
+        sink = obs.MemorySink()
+        registry = obs.Telemetry(trace=sink)
+        registry.observe("lat", 1.0, buckets=(1.0, 10.0))
+        registry.observe("lat", 10.0, buckets=(1.0, 10.0))
+        registry.close()
+        text = render_summary(aggregate_trace(sink.records))
+        assert "<10" in text
+        assert ">=10" in text
+
+
+# ---------------------------------------------------------------------------
+# Rotation-safe tailing
+# ---------------------------------------------------------------------------
+
+class TestFollowTrace:
+    def test_follow_loses_nothing_across_rotations(self, tmp_path):
+        """The regression this guards: a byte-offset tail silently
+        dropped every record between the last poll and a rotation."""
+        path = str(tmp_path / "trace.jsonl")
+        sink = obs.TraceSink(path, max_bytes=4096, backups=2)
+        total = 60
+        done = threading.Event()
+
+        def write():
+            for index in range(total):
+                sink.write(
+                    {
+                        "type": "counter",
+                        "name": "n",
+                        "value": index,
+                        "pad": "x" * 120,
+                    }
+                )
+                sink.flush()
+                time.sleep(0.002)
+            sink.close()
+            done.set()
+
+        thread = threading.Thread(target=write)
+        seen = []
+        thread.start()
+        try:
+            for record in obs.follow_trace(
+                path, poll_s=0.01, stop=done.is_set
+            ):
+                seen.append(record)
+        finally:
+            thread.join(timeout=10.0)
+        values = [r["value"] for r in seen if r.get("type") == "counter"]
+        assert values == list(range(total))  # nothing lost, nothing reordered
+        assert os.path.exists(path + ".1")  # the file really rotated
+
+    def test_follow_stops_cleanly_on_missing_then_created_file(self, tmp_path):
+        path = str(tmp_path / "late.jsonl")
+        done = threading.Event()
+
+        def write():
+            time.sleep(0.05)
+            sink = obs.TraceSink(path)
+            sink.write({"type": "counter", "name": "n", "value": 1})
+            sink.close()
+            done.set()
+
+        thread = threading.Thread(target=write)
+        seen = []
+        thread.start()
+        try:
+            for record in obs.follow_trace(
+                path, poll_s=0.01, stop=done.is_set
+            ):
+                seen.append(record)
+        finally:
+            thread.join(timeout=10.0)
+        assert [
+            r["value"] for r in seen if r.get("type") == "counter"
+        ] == [1]

@@ -1,0 +1,469 @@
+"""Tests for distributed trace collection (``repro.obs.collect``).
+
+Covers the context wire protocol, worker-side capture, coordinator-side
+merging with clock-skew normalisation, byte-neutrality of results
+across every backend, the socket path with multiple workers and a
+mid-run disconnect, and the ``obs analyze`` critical-path analytics.
+"""
+
+import json
+import socket as socketlib
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.analyze import analyze, load_campaign, render_analysis
+from repro.obs.collect import (
+    MAX_CHUNK_RECORDS,
+    TraceCollector,
+    TraceContext,
+    collect_run,
+)
+from repro.scenarios import SocketQueueBackend, SweepConfig, run_sweep
+from repro.scenarios.sweep.distributed import run_worker
+
+#: The cheapest sweep exercising caching, both schedulers, and every
+#: instrumented code path (2 runs).
+TOY = SweepConfig(
+    scenarios=("toy-triangle",), grid={"demand_gbps": [5.0]}, seeds=(0, 1)
+)
+
+#: Enough runs that two concurrent socket workers both get work.
+TOY_WIDE = SweepConfig(
+    scenarios=("toy-triangle",),
+    grid={"demand_gbps": [5.0]},
+    seeds=(0, 1, 2, 3, 4, 5, 6, 7),
+)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _collect(config, **kwargs):
+    """Run a sweep with collection into memory; return (result, records)."""
+    sink = obs.MemorySink()
+    collector = TraceCollector(sink, sweep="test")
+    result = run_sweep(config, collect=collector, **kwargs)
+    collector.close()
+    return result, sink.records
+
+
+def _run_tokens(config):
+    from repro.scenarios.sweep.engine import expand_runs
+
+    return {key.token() for key in expand_runs(config)}
+
+
+# ---------------------------------------------------------------------------
+# TraceContext wire protocol
+# ---------------------------------------------------------------------------
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        context = TraceContext("camp-1", "run-a", "toy-triangle", 7, "c0")
+        assert TraceContext.from_wire(context.as_wire()) == context
+        assert json.loads(json.dumps(context.as_wire())) == context.as_wire()
+
+    def test_stamp_excludes_parent_span(self):
+        context = TraceContext("camp-1", "run-a", "toy-triangle", 7)
+        assert "parent_span" not in context.stamp()
+        assert context.stamp()["campaign"] == "camp-1"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not-a-mapping",
+            {},
+            {"campaign": "", "run": "r", "scenario": "s", "seed": 0},
+            {"campaign": "c", "run": "r", "scenario": "s", "seed": "0"},
+            {"campaign": "c", "run": "r", "scenario": "s", "seed": True},
+            {
+                "campaign": "c",
+                "run": "r",
+                "scenario": "s",
+                "seed": 0,
+                "parent_span": "",
+            },
+        ],
+    )
+    def test_from_wire_rejects_malformed(self, payload):
+        with pytest.raises(ConfigurationError):
+            TraceContext.from_wire(payload)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side capture
+# ---------------------------------------------------------------------------
+
+class TestCollectRun:
+    def test_chunk_shape_and_context_stamps(self):
+        context = TraceContext("camp-1", "run-a", "toy", 0)
+
+        def body():
+            obs.inc("unit.work")
+            with obs.span("unit.step"):
+                pass
+            return 41
+
+        result, chunk = collect_run(body, context=context, worker="w0")
+        assert result == 41
+        assert chunk["worker"] == "w0"
+        assert chunk["run"] == "run-a"
+        assert chunk["wall0_s"] <= chunk["wall1_s"]
+        kinds = {record["type"] for record in chunk["records"]}
+        assert "span" in kinds and "counter" in kinds
+        for record in chunk["records"]:
+            if record["type"] != "meta":
+                assert record["ctx"]["campaign"] == "camp-1"
+                assert record["ctx"]["run"] == "run-a"
+        # The outermost span is the run wrapper, parented on the
+        # campaign root; the nested span is parented on the wrapper.
+        spans = [r for r in chunk["records"] if r["type"] == "span"]
+        by_name = {record["name"]: record for record in spans}
+        assert by_name["run"]["parent"] == "c0"
+        assert by_name["unit.step"]["parent"] == by_name["run"]["span_id"]
+
+    def test_capture_is_thread_local_and_restores_global(self):
+        context = TraceContext("camp-1", "run-a", "toy", 0)
+        with obs.enabled() as registry:
+            collect_run(lambda: obs.inc("inside"), context=context, worker="w")
+            obs.inc("outside")
+            counters = registry.summary()["counters"]
+        assert "outside" in counters
+        assert "inside" not in counters
+
+
+# ---------------------------------------------------------------------------
+# Coordinator-side merging
+# ---------------------------------------------------------------------------
+
+def _chunk(worker, run, wall0, wall1, t0s, sim_ms=12.5):
+    return {
+        "worker": worker,
+        "run": run,
+        "wall0_s": wall0,
+        "wall1_s": wall1,
+        "records": [
+            {
+                "type": "span",
+                "name": "run",
+                "ms": 5.0,
+                "sim_ms": sim_ms,
+                "t0_s": t0,
+                "ctx": {"campaign": "camp", "run": run},
+            }
+            for t0 in t0s
+        ],
+    }
+
+
+class TestClockSkewNormalisation:
+    def test_opposite_half_second_skews_merge_monotone(self):
+        """Workers ±500 ms off the coordinator clock still produce a
+        monotone merged timeline; sim timestamps are untouched."""
+        sink = obs.MemorySink()
+        collector = TraceCollector(sink, campaign="camp")
+        # Coordinator dispatches run-a at t=100.0, result at t=100.2;
+        # the worker's clock runs 0.5 s ahead.
+        collector.add_chunk(
+            _chunk("fast", "run-a", 100.55, 100.65, [100.55, 100.60]),
+            request_s=100.0,
+            response_s=100.2,
+        )
+        # Second worker runs 0.5 s behind, executes after the first.
+        collector.add_chunk(
+            _chunk("slow", "run-b", 99.85, 99.95, [99.85, 99.90]),
+            request_s=100.3,
+            response_s=100.5,
+        )
+        collector.close()
+        spans = [r for r in sink.records if r.get("name") == "run"]
+        stamps = [r["t0_s"] for r in spans]
+        # Corrected onto the coordinator clock: fast worker's spans land
+        # inside [100.0, 100.2], slow worker's inside [100.3, 100.5] —
+        # the merged timeline is monotone in true execution order.
+        assert stamps == sorted(stamps)
+        assert 100.0 <= stamps[0] and stamps[-1] <= 100.5
+        # Simulated time rides through byte-identical.
+        assert all(r["sim_ms"] == 12.5 for r in spans)
+        assert all(r["ms"] == 5.0 for r in spans)
+        assert collector.stats["max_abs_skew_ms"] == pytest.approx(
+            500.0, abs=100.0
+        )
+        skews = [
+            r["skew_ms"]
+            for r in sink.records
+            if r.get("name") == "collect.result"
+        ]
+        assert skews[0] == pytest.approx(500.0, abs=1.0)
+        assert skews[1] == pytest.approx(-500.0, abs=1.0)
+
+    def test_no_timestamps_means_no_shift(self):
+        sink = obs.MemorySink()
+        collector = TraceCollector(sink, campaign="camp")
+        collector.add_chunk(_chunk("pool-1", "run-a", 50.0, 50.1, [50.0]))
+        spans = [r for r in sink.records if r.get("name") == "run"]
+        assert spans[0]["t0_s"] == 50.0
+
+    def test_malformed_chunks_drop_never_raise(self):
+        sink = obs.MemorySink()
+        collector = TraceCollector(sink, campaign="camp")
+        collector.add_chunk(None)
+        collector.add_chunk(["not", "a", "mapping"])
+        collector.add_chunk({"worker": "w", "records": ["junk", 42]})
+        assert collector.stats["dropped"] == 4
+        assert collector.stats["records"] == 0
+
+    def test_oversize_chunk_truncated_and_counted(self):
+        sink = obs.MemorySink()
+        collector = TraceCollector(sink, campaign="camp")
+        records = [
+            {"type": "counter", "name": "n", "value": 1}
+            for _ in range(MAX_CHUNK_RECORDS + 5)
+        ]
+        collector.add_chunk({"worker": "w", "records": records})
+        assert collector.stats["records"] == MAX_CHUNK_RECORDS
+        assert collector.stats["dropped"] == 5
+
+
+# ---------------------------------------------------------------------------
+# Byte-neutrality across backends
+# ---------------------------------------------------------------------------
+
+class TestCollectionNeutrality:
+    def test_serial_results_identical_with_collection(self):
+        baseline = run_sweep(TOY, workers=1)
+        collected, records = _collect(TOY, workers=1)
+        assert collected.to_json() == baseline.to_json()
+        workers = {
+            r["worker"]
+            for r in records
+            if r.get("type") == "span" and r.get("name") == "run"
+        }
+        assert workers == {"serial"}
+
+    def test_pool_results_identical_with_collection(self):
+        baseline = run_sweep(TOY, workers=1)
+        collected, records = _collect(TOY, backend="pool", workers=2)
+        assert collected.to_json() == baseline.to_json()
+        workers = {
+            r["worker"]
+            for r in records
+            if r.get("type") == "span" and r.get("name") == "run"
+        }
+        assert workers and all(w.startswith("pool-") for w in workers)
+
+    def test_socket_results_identical_with_collection(self):
+        baseline = run_sweep(TOY, workers=1)
+        backend = SocketQueueBackend(local_workers=2, timeout=60.0)
+        collected, records = _collect(TOY, backend=backend)
+        assert collected.to_json() == baseline.to_json()
+        exec_spans = [
+            r
+            for r in records
+            if r.get("type") == "span" and r.get("name") == "run"
+        ]
+        assert {r["ctx"]["run"] for r in exec_spans} == _run_tokens(TOY)
+
+    def test_collection_off_trace_free(self):
+        """Without ``collect=`` nothing context-shaped reaches traces."""
+        trace_records = []
+
+        class _Spy:
+            def write(self, record):
+                trace_records.append(record)
+
+            def flush(self):
+                pass
+
+            def close(self):
+                pass
+
+        registry = obs.Telemetry(trace=_Spy())
+        with obs.thread_session(registry):
+            run_sweep(TOY, workers=1)
+        registry.close()
+        assert all("ctx" not in record for record in trace_records)
+
+
+# ---------------------------------------------------------------------------
+# Socket path: multiple workers, mid-run disconnect
+# ---------------------------------------------------------------------------
+
+def _drain_with_doomed_worker_collected(config, backend, address_box):
+    """Sweep with collection while a fake worker checks out a run and
+    dies mid-run; two real workers then drain everything."""
+    result_box = {}
+    sink = obs.MemorySink()
+    collector = TraceCollector(sink, sweep="churn")
+
+    def coordinate():
+        result_box["result"] = run_sweep(
+            config, backend=backend, collect=collector
+        )
+
+    thread = threading.Thread(target=coordinate)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not address_box and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert address_box, "coordinator never announced its address"
+    host, port = address_box[0]
+
+    conn = socketlib.create_connection((host, port), timeout=10.0)
+    reader = conn.makefile("r", encoding="utf-8")
+    writer = conn.makefile("w", encoding="utf-8")
+    writer.write(json.dumps({"type": "hello", "worker": "doomed"}) + "\n")
+    writer.flush()
+    assert json.loads(reader.readline())["type"] == "welcome"
+    writer.write(json.dumps({"type": "next"}) + "\n")
+    writer.flush()
+    dispatch = json.loads(reader.readline())
+    assert dispatch["type"] == "run"
+    # Collection stamps the dispatch with a plain-JSON context.
+    assert dispatch["ctx"]["campaign"] == collector.campaign
+    conn.shutdown(socketlib.SHUT_RDWR)
+    reader.close()
+    writer.close()
+    conn.close()
+
+    workers = [
+        threading.Thread(
+            target=run_worker,
+            args=(host, port),
+            kwargs={"worker_name": name},
+        )
+        for name in ("alpha", "beta")
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=30.0)
+    thread.join(timeout=30.0)
+    assert not thread.is_alive()
+    collector.close()
+    return result_box["result"], collector, sink.records
+
+
+class TestSocketCollection:
+    def test_multi_worker_disconnect_merges_every_span(self):
+        serial = run_sweep(TOY_WIDE, workers=1)
+        addresses = []
+        backend = SocketQueueBackend(
+            local_workers=0, timeout=60.0, announce=addresses.append
+        )
+        result, collector, records = _drain_with_doomed_worker_collected(
+            TOY_WIDE, backend, addresses
+        )
+        # Results byte-identical despite churn and collection.
+        assert result.to_json() == serial.to_json()
+        # The doomed checkout was re-queued and recorded as such.
+        assert collector.stats["requeues"] == 1
+        requeues = [
+            r for r in records if r.get("name") == "collect.requeue"
+        ]
+        assert len(requeues) == 1
+        assert requeues[0]["worker"] == "doomed"
+        # Every run's execution spans landed under the correct context,
+        # attributed to a real worker, parented on the campaign root.
+        exec_spans = [
+            r
+            for r in records
+            if r.get("type") == "span" and r.get("name") == "run"
+        ]
+        assert {r["ctx"]["run"] for r in exec_spans} == _run_tokens(TOY_WIDE)
+        workers = {r["worker"] for r in exec_spans}
+        assert workers <= {"alpha", "beta"} and len(workers) == 2
+        assert all(r["parent"] == collector.root_span for r in exec_spans)
+        # Coordinator-side drain spans cover every run too.
+        drains = [r for r in records if r.get("name") == "run.drain"]
+        assert {r["ctx"]["run"] for r in drains} == _run_tokens(TOY_WIDE)
+        # Summary gauges close the campaign.
+        gauges = {
+            r["name"]: r["value"]
+            for r in records
+            if r.get("type") == "gauge"
+        }
+        assert gauges["collect.workers"] == 2
+        assert gauges["collect.runs_executed"] == len(_run_tokens(TOY_WIDE))
+        assert gauges["collect.requeues"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Engine integration details
+# ---------------------------------------------------------------------------
+
+class TestEngineIntegration:
+    def test_collect_path_writes_rotating_trace(self, tmp_path):
+        trace = str(tmp_path / "campaign.jsonl")
+        result = run_sweep(TOY, workers=1, collect=trace)
+        assert result.rows
+        records = list(obs.iter_trace(trace))
+        assert any(r.get("collect") for r in records if r["type"] == "meta")
+        assert any(r.get("name") == "campaign" for r in records)
+
+    def test_collect_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(TOY, workers=1, collect=42)
+
+    def test_resume_skips_collection_for_cached_runs(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_sweep(TOY, workers=1, cache_dir=cache)
+        sink = obs.MemorySink()
+        collector = TraceCollector(sink, sweep="resume")
+        run_sweep(TOY, workers=1, cache_dir=cache, collect=collector)
+        collector.close()
+        exec_spans = [
+            r for r in sink.records if r.get("name") == "run"
+        ]
+        assert exec_spans == []
+        gauges = {
+            r["name"]: r["value"]
+            for r in sink.records
+            if r.get("type") == "gauge"
+        }
+        assert gauges["collect.runs_total"] == 2
+        assert gauges["collect.runs_executed"] == 0
+        assert gauges["collect.resume_hits"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Critical-path analytics
+# ---------------------------------------------------------------------------
+
+class TestAnalyze:
+    def test_analyze_collected_campaign(self):
+        _, records = _collect(TOY, workers=1)
+        campaign = load_campaign(records)
+        analysis = analyze(records)
+        assert campaign["id"]
+        metrics = analysis["metrics"]
+        assert metrics["runs"] == 2
+        assert metrics["runs_complete"] == 2
+        assert metrics["coverage"] == 1.0
+        assert metrics["workers"] == 1
+        assert metrics["phase.critical_path.p50_ms"] > 0
+        assert metrics["phase.schedule.p50_ms"] >= 0
+        rendered = render_analysis(analysis)
+        assert "critical path by phase" in rendered
+        assert "exec latency by worker" in rendered
+        assert "critical path by scenario" in rendered
+        assert "serial" in rendered
+
+    def test_analyze_requires_collected_trace(self):
+        with pytest.raises(ConfigurationError):
+            analyze([{"type": "meta", "pid": 1}])
+
+    def test_analyze_file_source(self, tmp_path):
+        trace = str(tmp_path / "campaign.jsonl")
+        run_sweep(TOY, workers=1, collect=trace)
+        metrics = analyze(trace)["metrics"]
+        assert metrics["runs"] == 2
+        assert metrics["requeues"] == 0
